@@ -1,0 +1,72 @@
+// Shared helpers for the experiment-reproduction benches.  Each bench
+// binary regenerates one table or figure of the paper and prints the same
+// rows/series the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "common/bits.hpp"
+#include "control/controller.hpp"
+#include "packet/trace_gen.hpp"
+
+namespace flymon::bench {
+
+inline void header(const char* experiment, const char* caption) {
+  std::printf("================================================================\n");
+  std::printf("%s\n%s\n", experiment, caption);
+  std::printf("================================================================\n");
+}
+
+inline std::string fmt_mem(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1f MB", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof buf, "%.1f KB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%zu B", bytes);
+  }
+  return buf;
+}
+
+/// Deploy one task on a fresh data plane sized so that `buckets_per_row`
+/// fits a register, returning both.  Benches sweep memory by rebuilding.
+struct FlyMonInstance {
+  std::unique_ptr<FlyMonDataPlane> dp;
+  std::unique_ptr<control::Controller> ctl;
+  std::uint32_t task_id = 0;
+  bool ok = false;
+  std::string error;
+};
+
+inline FlyMonInstance deploy_flymon(const TaskSpec& spec, unsigned groups = 9) {
+  FlyMonInstance inst;
+  CmuGroupConfig cfg;
+  // Size registers to the sweep point so the granted partition matches the
+  // requested memory exactly (the 32-partition floor of a fixed 64K-bucket
+  // register would otherwise dominate small-memory sweep points).
+  cfg.register_buckets = static_cast<std::uint32_t>(
+      pow2_ceil(std::max<std::uint32_t>(32, spec.memory_buckets)));
+  inst.dp = std::make_unique<FlyMonDataPlane>(groups, cfg);
+  inst.ctl = std::make_unique<control::Controller>(*inst.dp);
+  const auto r = inst.ctl->add_task(spec);
+  inst.ok = r.ok;
+  inst.error = r.error;
+  inst.task_id = r.task_id;
+  return inst;
+}
+
+/// Candidate key list from a ground-truth map (HH-style sweeps query every
+/// true flow, the standard evaluation methodology for sketches).
+inline std::vector<FlowKeyValue> keys_of(const FreqMap& m) {
+  std::vector<FlowKeyValue> out;
+  out.reserve(m.size());
+  for (const auto& [k, v] : m) out.push_back(k);
+  return out;
+}
+
+}  // namespace flymon::bench

@@ -1,0 +1,73 @@
+// Paper Figure 2: resource footprint of four statically-deployed
+// single-key sketches (Bloom Filter, CMS, HLL, MRAC) and their coexistence
+// ("Sum"), across the critical resource types — and why static deployment
+// cannot scale past a handful of keys.
+#include "bench/bench_util.hpp"
+#include "control/static_deploy.hpp"
+#include "dataplane/tofino_model.hpp"
+
+using namespace flymon;
+using namespace flymon::control;
+using dataplane::Resource;
+using dataplane::TofinoModel;
+
+namespace {
+
+struct Totals {
+  double hash = 0, salu = 0, sram = 0, tcam = 0, vliw = 0, lt = 0;
+};
+
+Totals totals_of(const StaticSketchFootprint& s) {
+  constexpr unsigned stages = TofinoModel::kNumStages;
+  const double hash_cap = stages * TofinoModel::kHashDistUnitsPerStage;
+  const double salu_cap = stages * TofinoModel::kSalusPerStage;
+  const double sram_cap = stages * TofinoModel::kSramBlocksPerStage;
+  const double tcam_cap = stages * TofinoModel::kTcamBlocksPerStage;
+  const double vliw_cap = stages * TofinoModel::kVliwSlotsPerStage;
+  const double lt_cap = stages * TofinoModel::kLogicalTablesPerStage;
+  Totals t;
+  t.hash = s.rows * s.hash_units_per_row / hash_cap;
+  t.salu = s.rows / salu_cap;
+  t.sram = s.sram_blocks_total / sram_cap;
+  t.tcam = s.tcam_blocks_total / tcam_cap;
+  t.vliw = s.vliw_slots_total / vliw_cap;
+  t.lt = s.logical_tables_total / lt_cap;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 2",
+                "Static single-key sketch footprints (fraction of one pipe)");
+
+  const auto sketches = fig2_sketches();
+  std::printf("%-12s %8s %8s %8s %8s %8s %8s\n", "sketch", "Hash", "SALU", "SRAM",
+              "TCAM", "VLIW", "LogTbl");
+  Totals sum;
+  for (const auto& s : sketches) {
+    const Totals t = totals_of(s);
+    std::printf("%-12s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+                s.name.c_str(), 100 * t.hash, 100 * t.salu, 100 * t.sram,
+                100 * t.tcam, 100 * t.vliw, 100 * t.lt);
+    sum.hash += t.hash;
+    sum.salu += t.salu;
+    sum.sram += t.sram;
+    sum.tcam += t.tcam;
+    sum.vliw += t.vliw;
+    sum.lt += t.lt;
+  }
+  std::printf("%-12s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", "Sum",
+              100 * sum.hash, 100 * sum.salu, 100 * sum.sram, 100 * sum.tcam,
+              100 * sum.vliw, 100 * sum.lt);
+
+  // The scaling wall: how many statically-deployed single-key sketches fit
+  // next to the switch.p4 baseline before some stage resource runs out.
+  const unsigned n = max_static_instances(sketches, TofinoModel::kNumStages,
+                                          switch_p4_baseline_per_stage(),
+                                          switch_p4_baseline_phv_bits());
+  std::printf("\nStatic single-key sketch instances that fit beside switch.p4: %u\n", n);
+  std::printf("(paper: a Tofino switch cannot support more than ~4 single-key "
+              "sketches in a typical scenario)\n");
+  return 0;
+}

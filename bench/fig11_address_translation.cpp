@@ -1,0 +1,39 @@
+// Paper Figure 11: resource overhead of the two address-translation
+// mechanisms as the number of memory partitions per CMU grows.
+//   (a) TCAM-based: fraction of one MAU stage's TCAM
+//   (b) shift-based: extra PHV bits for pre-computed offsets
+#include "bench/bench_util.hpp"
+#include "core/address_translation.hpp"
+#include "dataplane/tcam.hpp"
+#include "dataplane/tofino_model.hpp"
+
+using namespace flymon;
+using dataplane::TofinoModel;
+
+int main() {
+  bench::header("Figure 11", "Address-translation overhead vs #memory partitions");
+
+  constexpr std::uint32_t kBuckets = 65536;  // one CMU register
+  constexpr double kStageTcamEntries =
+      double{TofinoModel::kTcamBlocksPerStage} * TofinoModel::kTcamBlockEntries;
+
+  std::printf("%-12s %18s %14s %18s\n", "partitions", "TCAM entries", "TCAM usage",
+              "shift PHV (bits)");
+  for (unsigned parts : {8u, 16u, 32u, 64u}) {
+    const TranslationCost tcam =
+        translation_cost_for_partitions(TranslationStrategy::kTcam, kBuckets, parts);
+    const TranslationCost shift =
+        translation_cost_for_partitions(TranslationStrategy::kShift, kBuckets, parts);
+    std::printf("%-12u %18u %13.1f%% %18u\n", parts, tcam.tcam_entries,
+                100.0 * tcam.tcam_entries / kStageTcamEntries, shift.phv_bits);
+  }
+  std::printf("\n(paper: 32 partitions need ~12.5%% of one stage's TCAM; with 32\n"
+              " partitions per CMU a 3-CMU group runs up to 96 isolated tasks)\n");
+
+  // Range-expansion sanity: every power-of-two partition expands to exactly
+  // one ternary entry per displaced source block.
+  const auto patterns = dataplane::range_to_ternary(16384, 32767, 16);
+  std::printf("\nrange [16384,32767] over 16-bit key expands to %zu ternary entry(ies)\n",
+              patterns.size());
+  return 0;
+}

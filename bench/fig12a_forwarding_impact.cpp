@@ -1,0 +1,38 @@
+// Paper Figure 12a: impact of reconfiguration events on traffic
+// forwarding.  Nine events over 100 s; FlyMon reconfigures with runtime
+// rules (no interruption) while the static method reloads the P4 program
+// (4-8 s outage per reload, deletions skipped, critical events batched).
+#include "bench/bench_util.hpp"
+#include "control/forwarding_sim.hpp"
+
+using namespace flymon;
+using namespace flymon::control;
+
+int main() {
+  bench::header("Figure 12a", "Throughput under 9 reconfiguration events (e1..e9)");
+
+  ForwardingSimConfig cfg;
+  const auto events = paper_event_schedule();
+  const auto result = simulate_forwarding(cfg, events);
+
+  std::printf("%8s %12s %12s %12s\n", "t (s)", "Bare", "FlyMon", "Static");
+  for (std::size_t i = 0; i < result.samples.size(); i += 4) {  // 2 s granularity
+    const auto& s = result.samples[i];
+    std::printf("%8.1f %10.1f G %10.1f G %10.1f G", s.time_s, s.bare_gbps,
+                s.flymon_gbps, s.static_gbps);
+    for (const auto& e : events) {
+      if (e.time_s >= s.time_s && e.time_s < s.time_s + 2.0) {
+        std::printf("   <- e%d (%s)", static_cast<int>(&e - events.data()) + 1,
+                    e.kind == ReconfigEventKind::kAddTask      ? "add"
+                    : e.kind == ReconfigEventKind::kDeleteTask ? "delete"
+                                                               : "realloc");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nSummary: FlyMon outage %.1f s | static outage %.1f s over %u reloads\n",
+              result.flymon_outage_s, result.static_outage_s, result.static_reloads);
+  std::printf("(paper: FlyMon has no impairment; static interrupts traffic 4-8 s "
+              "per reconfiguration)\n");
+  return 0;
+}

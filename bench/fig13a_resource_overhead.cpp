@@ -1,0 +1,80 @@
+// Paper Figure 13a: utilisation of six critical resources for the Tofino
+// baseline switch project (switch.p4) alone, with 1 CMU Group, and with 3
+// CMU Groups integrated.
+#include "bench/bench_util.hpp"
+#include "control/crossstack.hpp"
+#include "control/static_deploy.hpp"
+
+using namespace flymon;
+using namespace flymon::control;
+using dataplane::Resource;
+
+namespace {
+
+void print_row(const char* label, const dataplane::Pipeline& pipe) {
+  std::printf("%-26s", label);
+  for (Resource r : {Resource::kHashUnit, Resource::kSalu, Resource::kSramBlock,
+                     Resource::kTcamBlock, Resource::kVliwSlot,
+                     Resource::kLogicalTable}) {
+    std::printf(" %7.1f%%", 100.0 * pipe.utilization(r));
+  }
+  std::printf(" %7.1f%%\n", 100.0 * pipe.phv_utilization());
+}
+
+dataplane::Pipeline with_groups(unsigned n) {
+  CrossStackPlan plan = cross_stack(dataplane::TofinoModel::kNumStages, CmuGroupConfig{},
+                                    switch_p4_baseline_per_stage(),
+                                    switch_p4_baseline_phv_bits());
+  // Re-run with a cap of n groups: rebuild manually.
+  dataplane::Pipeline pipe(dataplane::TofinoModel::kNumStages,
+                           dataplane::TofinoModel::kPhvBits);
+  for (unsigned s = 0; s < pipe.num_stages(); ++s) {
+    pipe.stage(s).allocate(switch_p4_baseline_per_stage());
+  }
+  pipe.allocate_phv(switch_p4_baseline_phv_bits());
+  const auto demands = CmuGroup::stage_demands();
+  unsigned placed = 0;
+  for (unsigned i = 0; i < plan.start_stage.size() && placed < n; ++i) {
+    const unsigned start = plan.start_stage[i];
+    bool fits = true;
+    for (unsigned s = 0; s < 4; ++s) fits = fits && pipe.stage(start + s).fits(demands[s]);
+    if (!fits) break;
+    for (unsigned s = 0; s < 4; ++s) pipe.stage(start + s).allocate(demands[s]);
+    pipe.allocate_phv(CmuGroup::phv_bits());
+    ++placed;
+  }
+  return pipe;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 13a", "Resource overhead of CMU Groups on switch.p4");
+
+  std::printf("%-26s %8s %8s %8s %8s %8s %8s %8s\n", "", "Hash", "SALU", "SRAM",
+              "TCAM", "VLIW", "LogTbl", "PHV");
+  print_row("switch.p4", with_groups(0));
+  print_row("switch.p4 + 1 CMU Group", with_groups(1));
+  print_row("switch.p4 + 3 CMU Groups", with_groups(3));
+
+  // Average overhead of one group across the six resources.
+  const auto base = with_groups(0);
+  const auto one = with_groups(1);
+  double sum = 0;
+  for (Resource r : {Resource::kHashUnit, Resource::kSalu, Resource::kSramBlock,
+                     Resource::kTcamBlock, Resource::kVliwSlot,
+                     Resource::kLogicalTable}) {
+    sum += one.utilization(r) - base.utilization(r);
+  }
+  std::printf("\nAverage per-resource overhead of one CMU Group: %.2f%% "
+              "(paper: <8.3%%, hash is the bottleneck)\n", 100.0 * sum / 6);
+
+  // How many groups fit beside switch.p4 in total?
+  const CrossStackPlan full = cross_stack(dataplane::TofinoModel::kNumStages,
+                                          CmuGroupConfig{},
+                                          switch_p4_baseline_per_stage(),
+                                          switch_p4_baseline_phv_bits());
+  std::printf("CMU Groups integrable into switch.p4: %u (paper: more than 3)\n",
+              full.groups_placed);
+  return 0;
+}

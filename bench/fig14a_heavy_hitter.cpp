@@ -1,0 +1,97 @@
+// Paper Figure 14a: heavy-hitter detection F1 score vs memory for
+// FlyMon-BeauCoup / FlyMon-CMS / FlyMon-SuMax (all d=3), UnivMon, and the
+// original BeauCoup (d=1 and d=3).  Threshold 1024 packets.
+#include "bench/bench_util.hpp"
+#include "sketch/beaucoup.hpp"
+#include "sketch/univmon.hpp"
+
+using namespace flymon;
+
+namespace {
+
+constexpr std::uint64_t kThreshold = 1024;
+
+double flymon_f1(Algorithm algo, std::size_t mem_bytes,
+                 const std::vector<Packet>& trace, const FreqMap& truth,
+                 const std::vector<FlowKeyValue>& hh_true) {
+  TaskSpec spec;
+  spec.key = FlowKeySpec::five_tuple();
+  spec.rows = 3;
+  if (algo == Algorithm::kBeauCoup) {
+    spec.attribute = AttributeKind::kDistinct;
+    // HH via distinct timestamps (paper §5.3): with ~1 us granularity the
+    // number of distinct timestamps tracks the packet count.
+    spec.param = ParamSpec::compressed(FlowKeySpec::timestamp());
+    spec.algorithm = Algorithm::kBeauCoup;
+    spec.report_threshold = kThreshold;
+  } else {
+    spec.attribute = AttributeKind::kFrequency;
+    spec.algorithm = algo;
+  }
+  spec.memory_buckets =
+      static_cast<std::uint32_t>(std::max<std::size_t>(32, mem_bytes / (4 * spec.rows)));
+  auto inst = bench::deploy_flymon(spec);
+  if (!inst.ok) return -1;
+  inst.dp->process_all(trace);
+  const auto reported = inst.ctl->detect_over_threshold(
+      inst.task_id, bench::keys_of(truth), kThreshold);
+  return analysis::score_detection(hh_true, reported).f1();
+}
+
+double beaucoup_f1(unsigned d, std::size_t mem_bytes, const std::vector<Packet>& trace,
+                   const FreqMap& truth, const std::vector<FlowKeyValue>& hh_true) {
+  auto cfg = sketch::CouponConfig::for_threshold(kThreshold, 32, 32);
+  auto bc = sketch::BeauCoup::with_memory(d, mem_bytes, cfg);
+  for (const Packet& p : trace) {
+    const FlowKeyValue k = extract_flow_key(p, FlowKeySpec::five_tuple());
+    const FlowKeyValue ts = extract_flow_key(p, FlowKeySpec::timestamp());
+    bc.update({k.bytes.data(), k.bytes.size()}, {ts.bytes.data(), ts.bytes.size()});
+  }
+  std::vector<FlowKeyValue> reported;
+  for (const auto& [k, f] : truth) {
+    if (bc.reported({k.bytes.data(), k.bytes.size()})) reported.push_back(k);
+  }
+  return analysis::score_detection(hh_true, reported).f1();
+}
+
+double univmon_f1(std::size_t mem_bytes, const std::vector<Packet>& trace,
+                  const std::vector<FlowKeyValue>& hh_true) {
+  auto um = sketch::UnivMon::with_memory(mem_bytes);
+  for (const Packet& p : trace) um.update(extract_flow_key(p, FlowKeySpec::five_tuple()));
+  std::vector<FlowKeyValue> reported;
+  for (const auto& [k, est] : um.heavy_hitters(kThreshold)) reported.push_back(k);
+  return analysis::score_detection(hh_true, reported).f1();
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 14a", "Heavy hitters: F1 vs memory (threshold 1024)");
+
+  TraceConfig cfg;
+  cfg.num_flows = 20'000;
+  cfg.num_packets = 1'000'000;
+  cfg.zipf_alpha = 1.05;
+  const auto trace = TraceGenerator::generate(cfg);
+  const FreqMap truth = ExactStats::frequency(trace, FlowKeySpec::five_tuple());
+  const auto hh_true = ExactStats::over_threshold(truth, kThreshold);
+  std::printf("trace: %zu pkts, %zu flows, %zu true heavy hitters\n\n", trace.size(),
+              truth.size(), hh_true.size());
+
+  std::printf("%10s %12s %12s %12s %10s %12s %12s\n", "memory", "FM-BeauCoup",
+              "FM-CMS", "FM-SuMax", "UnivMon", "BeauCoup d1", "BeauCoup d3");
+  for (std::size_t kb : {16u, 32u, 64u, 128u, 256u, 512u}) {
+    const std::size_t bytes = kb * 1024;
+    std::printf("%10s %12.3f %12.3f %12.3f %10.3f %12.3f %12.3f\n",
+                bench::fmt_mem(bytes).c_str(),
+                flymon_f1(Algorithm::kBeauCoup, bytes, trace, truth, hh_true),
+                flymon_f1(Algorithm::kCms, bytes, trace, truth, hh_true),
+                flymon_f1(Algorithm::kSuMaxSum, bytes, trace, truth, hh_true),
+                univmon_f1(bytes, trace, hh_true),
+                beaucoup_f1(1, bytes, trace, truth, hh_true),
+                beaucoup_f1(3, bytes, trace, truth, hh_true));
+  }
+  std::printf("\n(paper: counter-based algorithms reach F1 > 0.99 at 100 KB; "
+              "FlyMon-SuMax is the most memory-efficient)\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Microbenchmarks (google-benchmark): per-packet update cost of the CMU
+// pipeline versus raw software sketches, plus key primitives.
+#include <benchmark/benchmark.h>
+
+#include "control/controller.hpp"
+#include "dataplane/hash_unit.hpp"
+#include "dataplane/tcam.hpp"
+#include "packet/trace_gen.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/univmon.hpp"
+
+using namespace flymon;
+
+namespace {
+
+std::vector<Packet> small_trace() {
+  TraceConfig cfg;
+  cfg.num_flows = 1000;
+  cfg.num_packets = 10'000;
+  return TraceGenerator::generate(cfg);
+}
+
+void BM_HashUnit(benchmark::State& state) {
+  dataplane::HashUnit unit(0);
+  unit.set_mask(FlowKeySpec::five_tuple().mask());
+  const auto trace = small_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const CandidateKey k = serialize_candidate_key(trace[i++ % trace.size()]);
+    benchmark::DoNotOptimize(unit.compute(k));
+  }
+}
+BENCHMARK(BM_HashUnit);
+
+void BM_TcamLookup(benchmark::State& state) {
+  dataplane::TcamTable<int> tcam;
+  for (unsigned i = 0; i < 64; ++i) {
+    tcam.install_range(i * 1024, i * 1024 + 1023, 16, i, static_cast<int>(i));
+  }
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tcam.lookup(key));
+    key = (key + 977) & 0xFFFF;
+  }
+}
+BENCHMARK(BM_TcamLookup);
+
+void BM_RawCms(benchmark::State& state) {
+  sketch::CountMin cms(3, 65536);
+  const auto trace = small_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const FlowKeyValue k =
+        extract_flow_key(trace[i++ % trace.size()], FlowKeySpec::five_tuple());
+    cms.update({k.bytes.data(), k.bytes.size()});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RawCms);
+
+void BM_CmuGroupProcess(benchmark::State& state) {
+  FlyMonDataPlane dp(1);
+  control::Controller ctl(dp);
+  TaskSpec spec;
+  spec.key = FlowKeySpec::five_tuple();
+  spec.attribute = AttributeKind::kFrequency;
+  spec.memory_buckets = 16384;
+  spec.rows = 3;
+  ctl.add_task(spec);
+  const auto trace = small_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    dp.process(trace[i++ % trace.size()]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CmuGroupProcess);
+
+void BM_FullPipeline9Groups(benchmark::State& state) {
+  FlyMonDataPlane dp(9);
+  control::Controller ctl(dp);
+  // A realistic mixed workload: one task of each attribute.
+  TaskSpec f;
+  f.key = FlowKeySpec::five_tuple();
+  f.attribute = AttributeKind::kFrequency;
+  f.memory_buckets = 16384;
+  f.rows = 3;
+  ctl.add_task(f);
+  TaskSpec d;
+  d.key = FlowKeySpec::dst_ip();
+  d.attribute = AttributeKind::kDistinct;
+  d.param = ParamSpec::compressed(FlowKeySpec::src_ip());
+  d.algorithm = Algorithm::kBeauCoup;
+  d.report_threshold = 512;
+  d.memory_buckets = 16384;
+  d.rows = 3;
+  ctl.add_task(d);
+  TaskSpec m;
+  m.key = FlowKeySpec::ip_pair();
+  m.attribute = AttributeKind::kMax;
+  m.param = ParamSpec::metadata(MetaField::kQueueLen);
+  m.memory_buckets = 16384;
+  m.rows = 3;
+  ctl.add_task(m);
+  const auto trace = small_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    dp.process(trace[i++ % trace.size()]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullPipeline9Groups);
+
+void BM_UnivMonUpdate(benchmark::State& state) {
+  auto um = sketch::UnivMon::with_memory(512 * 1024);
+  const auto trace = small_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    um.update(extract_flow_key(trace[i++ % trace.size()], FlowKeySpec::five_tuple()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnivMonUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

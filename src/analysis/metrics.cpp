@@ -1,0 +1,63 @@
+#include "analysis/metrics.hpp"
+
+#include <cmath>
+
+namespace flymon::analysis {
+
+double relative_error(double truth, double estimate) {
+  if (truth == 0) return estimate == 0 ? 0.0 : 1.0;
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+double average_relative_error(const std::vector<std::pair<double, double>>& pairs) {
+  if (pairs.empty()) return 0.0;
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& [truth, est] : pairs) {
+    if (truth == 0) continue;
+    sum += relative_error(truth, est);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double ClassificationScore::precision() const {
+  const std::size_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+}
+
+double ClassificationScore::recall() const {
+  const std::size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+}
+
+double ClassificationScore::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0 ? 0.0 : 2 * p * r / (p + r);
+}
+
+ClassificationScore score_detection(const std::vector<FlowKeyValue>& truth,
+                                    const std::vector<FlowKeyValue>& reported) {
+  std::unordered_set<FlowKeyValue> truth_set(truth.begin(), truth.end());
+  ClassificationScore s;
+  std::unordered_set<FlowKeyValue> seen;
+  for (const FlowKeyValue& k : reported) {
+    if (!seen.insert(k).second) continue;  // dedupe reports
+    if (truth_set.count(k)) {
+      ++s.true_positives;
+    } else {
+      ++s.false_positives;
+    }
+  }
+  s.false_negatives = truth_set.size() - s.true_positives;
+  return s;
+}
+
+double false_positive_rate(std::size_t false_positives, std::size_t negatives_total) {
+  return negatives_total == 0
+             ? 0.0
+             : static_cast<double>(false_positives) / static_cast<double>(negatives_total);
+}
+
+}  // namespace flymon::analysis

@@ -1,0 +1,52 @@
+// Evaluation metrics (paper Appendix C): ARE, RE, F1 score, false-positive
+// rate — shared by tests and every accuracy benchmark.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "packet/exact.hpp"
+#include "packet/flowkey.hpp"
+
+namespace flymon::analysis {
+
+/// Relative error |x_hat - x| / x (x must be non-zero).
+double relative_error(double truth, double estimate);
+
+/// Average relative error over per-flow (truth, estimate) pairs.
+/// Zero-truth flows are skipped.
+double average_relative_error(const std::vector<std::pair<double, double>>& pairs);
+
+struct ClassificationScore {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+};
+
+/// Compare a reported key set against the ground-truth key set.
+ClassificationScore score_detection(const std::vector<FlowKeyValue>& truth,
+                                    const std::vector<FlowKeyValue>& reported);
+
+/// False-positive rate over probes known NOT to be members.
+double false_positive_rate(std::size_t false_positives, std::size_t true_negatives_total);
+
+/// ARE of a frequency-style estimator: for each flow in `truth`, look up
+/// its estimate via `estimate_fn(key)`.
+template <typename EstimateFn>
+double frequency_are(const FreqMap& truth, EstimateFn&& estimate_fn) {
+  std::vector<std::pair<double, double>> pairs;
+  pairs.reserve(truth.size());
+  for (const auto& [key, f] : truth) {
+    if (f == 0) continue;
+    pairs.emplace_back(static_cast<double>(f),
+                       static_cast<double>(estimate_fn(key)));
+  }
+  return average_relative_error(pairs);
+}
+
+}  // namespace flymon::analysis

@@ -1,0 +1,63 @@
+// Bit-manipulation helpers shared across the FlyMon code base.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace flymon {
+
+/// True iff `v` is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// floor(log2(v)); v must be non-zero.
+constexpr unsigned log2_floor(std::uint64_t v) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/// ceil(log2(v)); v must be non-zero. log2_ceil(1) == 0.
+constexpr unsigned log2_ceil(std::uint64_t v) noexcept {
+  return v <= 1 ? 0u : log2_floor(v - 1) + 1u;
+}
+
+/// Smallest power of two >= v (v must be >= 1).
+constexpr std::uint64_t pow2_ceil(std::uint64_t v) noexcept {
+  return std::uint64_t{1} << log2_ceil(v);
+}
+
+/// Largest power of two <= v (v must be >= 1).
+constexpr std::uint64_t pow2_floor(std::uint64_t v) noexcept {
+  return std::uint64_t{1} << log2_floor(v);
+}
+
+/// Position (1-based, from the most-significant side) of the leftmost set
+/// bit within a `width`-bit value; returns 0 when no bit is set. This is the
+/// "rho" function used by HyperLogLog-style estimators.
+constexpr unsigned leftmost_one_pos(std::uint32_t v, unsigned width = 32) noexcept {
+  if (v == 0) return 0;
+  const unsigned lz = static_cast<unsigned>(std::countl_zero(v));
+  // v occupies the low `width` bits: skip the (32-width) always-zero bits.
+  return lz - (32 - width) + 1;
+}
+
+/// One-hot encoding: a word with only bit `idx` set (idx in [0,31]).
+constexpr std::uint32_t one_hot32(unsigned idx) noexcept {
+  return std::uint32_t{1} << idx;
+}
+
+/// Extract bits [lo, lo+len) of v (little-endian bit order).
+constexpr std::uint32_t bit_slice(std::uint64_t v, unsigned lo, unsigned len) noexcept {
+  const std::uint64_t mask =
+      len >= 64 ? std::numeric_limits<std::uint64_t>::max()
+                : (std::uint64_t{1} << len) - 1;
+  return static_cast<std::uint32_t>((v >> lo) & mask);
+}
+
+/// Mask with the low `n` bits set.
+constexpr std::uint32_t low_mask32(unsigned n) noexcept {
+  return n >= 32 ? 0xFFFF'FFFFu : (std::uint32_t{1} << n) - 1;
+}
+
+}  // namespace flymon

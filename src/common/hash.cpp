@@ -1,0 +1,74 @@
+#include "common/hash.hpp"
+
+#include <array>
+
+namespace flymon {
+namespace {
+
+// Table cache: one 256-entry table per polynomial actually used.
+struct CrcTable {
+  std::uint32_t poly = 0;
+  std::array<std::uint32_t, 256> table{};
+};
+
+CrcTable make_table(std::uint32_t poly) {
+  CrcTable t;
+  t.poly = poly;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? poly ^ (c >> 1) : (c >> 1);
+    t.table[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint32_t, 256>& table_for(std::uint32_t poly) {
+  // Small rotating cache; hash units use a handful of fixed polynomials.
+  static thread_local std::array<CrcTable, 12> cache{};
+  static thread_local unsigned next = 0;
+  for (const auto& e : cache) {
+    if (e.poly == poly) return e.table;
+  }
+  cache[next] = make_table(poly);
+  const auto& ref = cache[next].table;
+  next = (next + 1) % cache.size();
+  return ref;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t poly_reflected,
+                    std::uint32_t init) noexcept {
+  const auto& table = table_for(poly_reflected);
+  std::uint32_t c = init;
+  for (std::uint8_t b : data) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc_polynomial(unsigned unit_index) noexcept {
+  // Reflected polynomials of well-known CRC-32 variants.  Units cycle
+  // through them; the init value is additionally perturbed per unit by
+  // callers that need more than `size()` independent units.
+  static constexpr std::array<std::uint32_t, 8> kPolys = {
+      0xEDB88320u,  // CRC-32 (IEEE)
+      0x82F63B78u,  // CRC-32C (Castagnoli)
+      0xEB31D82Eu,  // CRC-32K (Koopman)
+      0xD5828281u,  // CRC-32Q
+      0x992C1A4Cu,  // CRC-32/AUTOSAR (reflected)
+      0xBA0DC66Bu,  // CRC-32K/2
+      0x76DC4190u,  // degenerate shift of IEEE (distinct table)
+      0xA833982Bu,  // CRC-32D
+  };
+  return kPolys[unit_index % kPolys.size()];
+}
+
+std::uint64_t hash64(std::span<const std::uint8_t> data, std::uint64_t seed) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull ^ mix64(seed);
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return mix64(h);
+}
+
+}  // namespace flymon

@@ -1,0 +1,60 @@
+// Deterministic PRNG used throughout tests, benches and trace generation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/hash.hpp"
+
+namespace flymon {
+
+/// xoshiro256** — fast, high-quality, deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDF00Dull) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // Fill state via splitmix64 as recommended by the xoshiro authors.
+    for (auto& word : s_) {
+      seed = mix64(seed + 0x9E3779B97F4A7C15ull);
+      word = seed;
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound); bound must be non-zero.
+  std::uint64_t next_below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  std::uint32_t next_u32() noexcept { return static_cast<std::uint32_t>(next() >> 32); }
+
+  bool next_bool(double p_true) noexcept { return next_double() < p_true; }
+
+  // UniformRandomBitGenerator interface for <algorithm> interop.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+  result_type operator()() noexcept { return next(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace flymon

@@ -1,0 +1,31 @@
+// Zipf-distributed sampler for realistic, heavy-tailed flow-size traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace flymon {
+
+/// Samples ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^alpha.
+/// Uses an inverse-CDF table; construction is O(n), sampling O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Draw one rank in [0, size()).
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double alpha() const noexcept { return alpha_; }
+
+  /// Expected probability mass of a given rank (exact, normalised).
+  double probability(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+  double alpha_ = 1.0;
+};
+
+}  // namespace flymon

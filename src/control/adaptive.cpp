@@ -1,0 +1,51 @@
+#include "control/adaptive.hpp"
+
+#include <algorithm>
+
+namespace flymon::control {
+
+double AdaptiveMemoryManager::occupancy(std::uint32_t task_id) const {
+  const DeployedTask* t = ctl_->task(task_id);
+  if (t == nullptr || t->rows.empty()) return 0.0;
+  const UnitPlacement& up = t->rows.front().units.front();
+  const auto& reg = ctl_->dataplane().group(up.group).cmu(up.cmu).reg();
+  std::uint32_t used = 0;
+  for (std::uint32_t i = up.partition.base; i < up.partition.end(); ++i) {
+    used += (reg.read(i) != 0);
+  }
+  return up.partition.size == 0
+             ? 0.0
+             : static_cast<double>(used) / static_cast<double>(up.partition.size);
+}
+
+std::vector<AdaptiveMemoryManager::Decision> AdaptiveMemoryManager::rebalance() {
+  std::vector<Decision> out;
+  for (std::uint32_t id : ctl_->task_ids()) {
+    const DeployedTask* t = ctl_->task(id);
+    if (t == nullptr) continue;
+    Decision d;
+    d.task_id = id;
+    d.old_buckets = t->buckets;
+    d.new_buckets = t->buckets;
+    d.occupancy = occupancy(id);
+
+    std::uint32_t target = t->buckets;
+    if (d.occupancy > cfg_.grow_threshold && t->buckets < cfg_.max_buckets) {
+      target = std::min(cfg_.max_buckets, t->buckets * 2);
+    } else if (d.occupancy < cfg_.shrink_threshold && t->buckets > cfg_.min_buckets) {
+      target = std::max(cfg_.min_buckets, t->buckets / 2);
+    }
+    if (target != t->buckets) {
+      d.attempted = true;
+      const DeployResult r = ctl_->resize_task(id, target);
+      if (r.ok) {
+        d.resized = true;
+        d.new_buckets = ctl_->task(id)->buckets;
+      }
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace flymon::control

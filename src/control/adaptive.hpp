@@ -1,0 +1,55 @@
+// DREAM/SCREAM-style adaptive memory management on top of FlyMon's
+// dynamic partitions (paper §3.4: FlyMon supplies the reconfigurable data
+// plane; SDM controllers supply policies like this one).  Between epochs,
+// each task's register occupancy is inspected and its memory doubled or
+// halved to track the traffic scale — the operation that Fig 12b performs
+// by hand.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "control/controller.hpp"
+
+namespace flymon::control {
+
+class AdaptiveMemoryManager {
+ public:
+  struct Config {
+    /// Grow when more than this fraction of buckets are occupied (a loaded
+    /// counter sketch loses accuracy well before it is full).
+    double grow_threshold = 0.35;
+    /// Shrink when less than this fraction is occupied.
+    double shrink_threshold = 0.08;
+    std::uint32_t min_buckets = 1024;
+    std::uint32_t max_buckets = 1u << 20;
+  };
+
+  struct Decision {
+    std::uint32_t task_id = 0;
+    std::uint32_t old_buckets = 0;
+    std::uint32_t new_buckets = 0;
+    double occupancy = 0;
+    bool resized = false;   ///< false = left alone or resize failed
+    bool attempted = false; ///< true when a resize was warranted
+  };
+
+  explicit AdaptiveMemoryManager(Controller& ctl) : ctl_(&ctl) {}
+  AdaptiveMemoryManager(Controller& ctl, const Config& cfg) : ctl_(&ctl), cfg_(cfg) {}
+
+  const Config& config() const noexcept { return cfg_; }
+
+  /// Fraction of non-zero buckets in the task's first-row partition.
+  double occupancy(std::uint32_t task_id) const;
+
+  /// Inspect every deployed task and resize the out-of-band ones.  Call at
+  /// an epoch boundary, after readout and before the next epoch's traffic
+  /// (resizing restarts the task's state).  Task ids are stable.
+  std::vector<Decision> rebalance();
+
+ private:
+  Controller* ctl_;
+  Config cfg_;
+};
+
+}  // namespace flymon::control

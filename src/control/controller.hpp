@@ -1,0 +1,172 @@
+// FlyMon control plane (paper §3.4): task management (define / remove /
+// resize measurement tasks, compiled into runtime rules) and resource
+// management (compressed-key reuse, CMU selection, buddy-allocated memory
+// partitions), plus the control-plane readout/estimation for every built-in
+// algorithm.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "control/deployment.hpp"
+#include "core/flymon_dataplane.hpp"
+#include "core/memory_partition.hpp"
+#include "core/task.hpp"
+
+namespace flymon::control {
+
+/// One physical CMU used by a task row, with its register partition.
+struct UnitPlacement {
+  unsigned group = 0;
+  unsigned cmu = 0;
+  std::uint32_t phys_id = 0;  ///< task id installed in that CMU
+  MemoryPartition partition{};
+};
+
+/// One independent instance ("row", d of them) of a task.  Simple
+/// algorithms use one CMU per row; composite ones (SuMax(Sum),
+/// MaxInterarrival, CounterBraids) chain several CMUs across groups.
+struct RowPlacement {
+  std::vector<UnitPlacement> units;
+};
+
+struct DeployedTask {
+  std::uint32_t id = 0;
+  TaskSpec spec;
+  Algorithm algorithm = Algorithm::kAuto;  ///< resolved (never kAuto)
+  std::uint32_t buckets = 0;               ///< quantized per-row buckets
+  std::vector<RowPlacement> rows;
+  DeploymentReport report;
+  // BeauCoup parameters resolved by the compiler.
+  unsigned coupon_count = 32;
+  unsigned coupon_threshold = 32;
+  double coupon_probability = 0;
+};
+
+struct DeployResult {
+  bool ok = false;
+  std::string error;
+  std::uint32_t task_id = 0;
+  DeploymentReport report;
+};
+
+class Controller {
+ public:
+  explicit Controller(FlyMonDataPlane& dp,
+                      TranslationStrategy strategy = TranslationStrategy::kTcam,
+                      AllocMode mode = AllocMode::kAccurate);
+
+  // ---- task management interfaces ----
+  DeployResult add_task(const TaskSpec& spec);
+  bool remove_task(std::uint32_t id);
+  /// Reallocate a task's memory: deploy the replacement first, then freeze
+  /// and reclaim the old instance (paper §6, memory reallocation strategy).
+  /// The public task id is preserved; measurement state starts fresh.
+  DeployResult resize_task(std::uint32_t id, std::uint32_t new_buckets);
+
+  /// Split a heavy task into two subtasks with halved filters (paper
+  /// §3.1.1: e.g. SrcIP 10.0.0.0/8 -> 10.0.0.0/9 + 10.128.0.0/9), each with
+  /// its own memory, reducing per-subtask hash collisions.  Both subtasks
+  /// deploy before the original is reclaimed; on failure nothing changes.
+  std::pair<DeployResult, DeployResult> split_task(std::uint32_t id);
+
+  const DeployedTask* task(std::uint32_t id) const noexcept;
+  std::size_t num_tasks() const noexcept { return tasks_.size(); }
+  std::vector<std::uint32_t> task_ids() const;
+
+  /// Zero the task's register partitions (start of a measurement epoch).
+  void clear_task_state(std::uint32_t id);
+  void clear_all_state();
+
+  // ---- resource management interfaces ----
+  std::uint32_t free_buckets(unsigned group, unsigned cmu) const;
+  AllocMode alloc_mode() const noexcept { return mode_; }
+  TranslationStrategy strategy() const noexcept { return strategy_; }
+
+  // ---- control-plane readout ----
+  /// Frequency / Max estimate for one flow (min across rows).
+  std::uint64_t query_value(std::uint32_t id, const Packet& probe) const;
+  /// Existence check (Bloom filter).
+  bool query_existence(std::uint32_t id, const Packet& probe) const;
+  /// Max inter-arrival estimate in nanoseconds.
+  std::uint64_t query_max_interarrival_ns(std::uint32_t id, const Packet& probe) const;
+  /// BeauCoup: has this key's distinct count crossed the threshold?
+  bool distinct_over_threshold(std::uint32_t id, const Packet& probe) const;
+  /// BeauCoup: distinct estimate via coupon-collector inversion.
+  double estimate_distinct(std::uint32_t id, const Packet& probe) const;
+  /// HyperLogLog / LinearCounting cardinality over the whole register.
+  double estimate_cardinality(std::uint32_t id) const;
+  /// MRAC flow entropy (nats) and size distribution.
+  double estimate_entropy(std::uint32_t id) const;
+  std::map<std::uint32_t, double> estimate_size_distribution(std::uint32_t id) const;
+  /// Odd Sketch (Similarity attribute): set size of one task, and the
+  /// symmetric difference / Jaccard similarity of two tasks deployed with
+  /// identical geometry (same CMUs and key slices, disjoint filters).
+  double estimate_set_size(std::uint32_t id) const;
+  double estimate_symmetric_difference(std::uint32_t a, std::uint32_t b) const;
+  double estimate_jaccard(std::uint32_t a, std::uint32_t b) const;
+  /// Candidate keys whose estimate crosses `threshold` (frequency-style
+  /// algorithms query values; BeauCoup uses its report rule).
+  std::vector<FlowKeyValue> detect_over_threshold(
+      std::uint32_t id, const std::vector<FlowKeyValue>& candidates,
+      std::uint64_t threshold) const;
+
+  /// Freeze a copy of the task's register partitions (end-of-epoch state).
+  struct TaskSnapshot {
+    std::uint32_t task_id = 0;
+    std::vector<std::vector<std::uint32_t>> row_cells;  ///< first unit per row
+  };
+  TaskSnapshot snapshot_task(std::uint32_t id) const;
+  /// Frequency estimate of `probe` against a snapshot (min across rows).
+  std::uint64_t query_snapshot(const TaskSnapshot& snap, const Packet& probe) const;
+  /// Heavy changers (paper Table 1): keys whose frequency changed by at
+  /// least `threshold` between a snapshot epoch and the current state.
+  std::vector<FlowKeyValue> detect_heavy_changers(
+      std::uint32_t id, const TaskSnapshot& previous_epoch,
+      const std::vector<FlowKeyValue>& candidates, std::uint64_t threshold) const;
+
+  FlyMonDataPlane& dataplane() noexcept { return *dp_; }
+  const FlyMonDataPlane& dataplane() const noexcept { return *dp_; }
+
+ private:
+  struct PendingMask {  // hash-mask rules staged during one deployment
+    unsigned group;
+    unsigned unit;
+    FlowKeySpec spec;
+  };
+
+  DeployResult deploy(const TaskSpec& spec, std::uint32_t public_id);
+  void undo_deployment(DeployedTask& t);
+  void gc_unreferenced_units();
+
+  // Resource helpers.
+  BuddyAllocator& allocator(unsigned group, unsigned cmu);
+  std::optional<CompressedKeySelector> ensure_selector(unsigned group,
+                                                       const FlowKeySpec& spec,
+                                                       unsigned& mask_rules);
+  void ref_selector(unsigned group, const CompressedKeySelector& sel);
+  void unref_selector(unsigned group, const CompressedKeySelector& sel);
+
+  // Readout helpers.
+  const DeployedTask& require(std::uint32_t id) const;
+  std::uint64_t read_row_value(const DeployedTask& t, const RowPlacement& row,
+                               const Packet& probe) const;
+
+  FlyMonDataPlane* dp_;
+  TranslationStrategy strategy_;
+  AllocMode mode_;
+  std::uint32_t next_id_ = 1;
+  std::uint32_t next_phys_ = 1;
+  std::uint32_t next_chain_ = 1;
+  std::map<std::uint32_t, DeployedTask> tasks_;
+  // (group, cmu) -> buddy allocator
+  std::map<std::pair<unsigned, unsigned>, BuddyAllocator> allocators_;
+  // (group, unit) -> reference count of tasks using this compressed key
+  std::map<std::pair<unsigned, unsigned>, unsigned> unit_refs_;
+};
+
+}  // namespace flymon::control

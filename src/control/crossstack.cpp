@@ -1,0 +1,132 @@
+#include "control/crossstack.hpp"
+
+#include "dataplane/tofino_model.hpp"
+
+namespace flymon::control {
+
+using dataplane::StageDemand;
+using dataplane::TofinoModel;
+
+namespace {
+
+/// Try to place one group with its C/I/P/O stage demands starting at
+/// `start`; returns true and commits on success.
+bool try_place(dataplane::Pipeline& pipe, unsigned start,
+               const std::array<StageDemand, 4>& demands) {
+  if (start + 4 > pipe.num_stages()) return false;
+  for (unsigned s = 0; s < 4; ++s) {
+    if (!pipe.stage(start + s).fits(demands[s])) return false;
+  }
+  for (unsigned s = 0; s < 4; ++s) pipe.stage(start + s).allocate(demands[s]);
+  return true;
+}
+
+}  // namespace
+
+CrossStackPlan cross_stack(unsigned num_stages, const CmuGroupConfig& cfg,
+                           const StageDemand& baseline_per_stage,
+                           unsigned baseline_phv_bits) {
+  CrossStackPlan plan(num_stages, TofinoModel::kPhvBits);
+  for (unsigned s = 0; s < num_stages; ++s) {
+    plan.pipeline.stage(s).allocate(baseline_per_stage);
+  }
+  plan.pipeline.allocate_phv(baseline_phv_bits);
+
+  const auto demands = CmuGroup::stage_demands(cfg);
+  const unsigned group_phv = CmuGroup::phv_bits(cfg);
+
+  // Shift-one-stage placement: group j starts at stage j; once the diagonal
+  // is exhausted, scan every start position for any remaining fit.
+  unsigned next_start = 0;
+  while (true) {
+    if (!plan.pipeline.allocate_phv(group_phv)) break;
+    bool placed = false;
+    for (unsigned probe = 0; probe < num_stages && !placed; ++probe) {
+      const unsigned start = (next_start + probe) % num_stages;
+      if (try_place(plan.pipeline, start, demands)) {
+        plan.start_stage.push_back(start);
+        ++plan.groups_placed;
+        next_start = start + 1;
+        placed = true;
+      }
+    }
+    if (!placed) {
+      plan.pipeline.release_phv(group_phv);
+      break;
+    }
+  }
+  return plan;
+}
+
+CrossStackPlan sequential_stack(unsigned num_stages, const CmuGroupConfig& cfg) {
+  CrossStackPlan plan(num_stages, TofinoModel::kPhvBits);
+  const auto demands = CmuGroup::stage_demands(cfg);
+  const unsigned group_phv = CmuGroup::phv_bits(cfg);
+  for (unsigned start = 0; start + 4 <= num_stages; start += 4) {
+    if (!plan.pipeline.allocate_phv(group_phv)) break;
+    if (!try_place(plan.pipeline, start, demands)) {
+      plan.pipeline.release_phv(group_phv);
+      break;
+    }
+    plan.start_stage.push_back(start);
+    ++plan.groups_placed;
+  }
+  return plan;
+}
+
+SplicedPlan cross_stack_spliced(unsigned num_stages, const CmuGroupConfig& cfg) {
+  SplicedPlan out{cross_stack(num_stages, cfg), 0, 0};
+  out.straight_groups = out.plan.groups_placed;
+
+  // Wrap-around placement into the leftover triangles: stage indices are
+  // taken modulo the pipe length; such a group only sees a packet's second
+  // pass, so its traffic is mirrored and recirculated (Appendix E, Fig 16).
+  const auto demands = CmuGroup::stage_demands(cfg);
+  const unsigned group_phv = CmuGroup::phv_bits(cfg);
+  auto& pipe = out.plan.pipeline;
+  for (unsigned start = num_stages >= 3 ? num_stages - 3 : 0; start < num_stages;
+       ++start) {
+    if (!pipe.allocate_phv(group_phv)) break;
+    bool fits = true;
+    for (unsigned s = 0; s < 4 && fits; ++s) {
+      fits = pipe.stage((start + s) % num_stages).fits(demands[s]);
+    }
+    if (!fits) {
+      pipe.release_phv(group_phv);
+      continue;
+    }
+    for (unsigned s = 0; s < 4; ++s) {
+      pipe.stage((start + s) % num_stages).allocate(demands[s]);
+    }
+    out.plan.start_stage.push_back(start);
+    ++out.plan.groups_placed;
+    ++out.spliced_groups;
+  }
+  return out;
+}
+
+unsigned max_cmus_without_compression(unsigned candidate_key_bits,
+                                      unsigned phv_budget_bits,
+                                      unsigned num_stages) {
+  // Every CMU statically copies the whole candidate key set into a
+  // dedicated PHV "dynamic key" field (paper §3.1.1) plus a 32-bit result.
+  const unsigned per_cmu = candidate_key_bits + 32;
+  const unsigned phv_limit = per_cmu == 0 ? 0 : phv_budget_bits / per_cmu;
+  // A SALU-per-stage limit also applies: 4 SALUs x stages.
+  const unsigned salu_limit = num_stages * TofinoModel::kSalusPerStage;
+  return phv_limit < salu_limit ? phv_limit : salu_limit;
+}
+
+unsigned max_cmus_with_compression(unsigned candidate_key_bits,
+                                   unsigned phv_budget_bits, unsigned num_stages,
+                                   const CmuGroupConfig& cfg) {
+  (void)candidate_key_bits;  // compressed keys are 32-bit regardless of key size
+  const unsigned per_group = CmuGroup::phv_bits(cfg);
+  const unsigned phv_groups = per_group == 0 ? 0 : phv_budget_bits / per_group;
+  const CrossStackPlan plan = cross_stack(num_stages, cfg);
+  const unsigned stage_groups = plan.groups_placed;
+  const unsigned groups = phv_groups < stage_groups ? phv_groups : stage_groups;
+  return groups * cfg.num_cmus;
+}
+
+}  // namespace flymon::control

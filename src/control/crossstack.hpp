@@ -1,0 +1,64 @@
+// Cross-stacking planner (paper §3.2, Fig 8): CMU Groups are placed
+// shift-one-stage so that the Compression / Initialization / Preparation /
+// Operation stages of successive groups interleave, evening out the use of
+// hash, VLIW, TCAM and SALU resources across MAU stages.
+#pragma once
+
+#include <vector>
+
+#include "core/cmu_group.hpp"
+#include "dataplane/pipeline.hpp"
+
+namespace flymon::control {
+
+struct CrossStackPlan {
+  unsigned groups_placed = 0;
+  std::vector<unsigned> start_stage;  ///< per placed group
+  dataplane::Pipeline pipeline;       ///< ledgers after placement
+
+  CrossStackPlan(unsigned stages, unsigned phv_bits)
+      : pipeline(stages, phv_bits) {}
+};
+
+/// Greedily place as many CMU Groups as fit into `num_stages` stages.
+/// `baseline_per_stage` reserves resources already used by the switch
+/// program (zero-demand = dedicated measurement device).
+CrossStackPlan cross_stack(unsigned num_stages,
+                           const CmuGroupConfig& cfg = {},
+                           const dataplane::StageDemand& baseline_per_stage = {},
+                           unsigned baseline_phv_bits = 0);
+
+/// Non-stacked placement (each group gets 4 dedicated stages) — the
+/// strawman the paper's cross-stacking improves on.
+CrossStackPlan sequential_stack(unsigned num_stages, const CmuGroupConfig& cfg = {});
+
+/// Appendix E: the triangles at the ends of the diagonal cannot hold a
+/// whole group in pipeline order, but mirroring packets to a recirculation
+/// port lets a group's stages wrap around the pipe end.  Returns the plan
+/// plus how many groups need recirculation (their traffic pays a bandwidth
+/// overhead).
+struct SplicedPlan {
+  CrossStackPlan plan;
+  unsigned straight_groups = 0;   ///< placed in pipeline order
+  unsigned spliced_groups = 0;    ///< wrap-around, mirror + recirculate
+  /// Fraction of measurement capacity whose traffic must recirculate.
+  double recirculated_fraction() const {
+    const unsigned total = straight_groups + spliced_groups;
+    return total == 0 ? 0.0 : static_cast<double>(spliced_groups) / total;
+  }
+};
+
+SplicedPlan cross_stack_spliced(unsigned num_stages, const CmuGroupConfig& cfg = {});
+
+/// Fig 13c: how many CMUs can be deployed as the candidate key set grows,
+/// with and without the compression (less-copy) strategy.  Without
+/// compression every CMU copies the whole candidate key into PHV; with it,
+/// a group shares `compression_units` 32-bit compressed keys.
+unsigned max_cmus_without_compression(unsigned candidate_key_bits,
+                                      unsigned phv_budget_bits,
+                                      unsigned num_stages);
+unsigned max_cmus_with_compression(unsigned candidate_key_bits,
+                                   unsigned phv_budget_bits, unsigned num_stages,
+                                   const CmuGroupConfig& cfg = {});
+
+}  // namespace flymon::control

@@ -1,0 +1,30 @@
+// Deployment accounting: runtime rules generated for a task and the
+// resulting install delay (paper §5.1, Table 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dataplane/tofino_model.hpp"
+
+namespace flymon::control {
+
+struct DeploymentReport {
+  unsigned table_rules = 0;      ///< ordinary match-action entries
+  unsigned hash_mask_rules = 0;  ///< dynamic-hashing reconfigurations
+  unsigned groups_used = 0;      ///< CMU Groups touched
+  unsigned cmus_used = 0;
+
+  /// Install delay: the control plane batches each rule kind; the two
+  /// kinds install concurrently (paper: batching masks deployment delay).
+  double delay_ms() const {
+    using dataplane::RuleInstallModel;
+    const double mask = RuleInstallModel::batched_ms(RuleInstallModel::kHashMaskRuleMs,
+                                                     hash_mask_rules);
+    const double table =
+        RuleInstallModel::batched_ms(RuleInstallModel::kTableRuleMs, table_rules);
+    return mask > table ? mask : table;
+  }
+};
+
+}  // namespace flymon::control

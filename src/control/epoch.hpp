@@ -1,0 +1,48 @@
+// Epoch-based measurement driver: slices a time-sorted trace into fixed
+// windows, processes each through the data plane, hands the frozen state to
+// a readout callback, then clears registers for the next window — the
+// standard sketch measurement loop (paper §5: "measurement epoch").
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/flymon_dataplane.hpp"
+#include "packet/packet.hpp"
+
+namespace flymon::control {
+
+class EpochRunner {
+ public:
+  EpochRunner(FlyMonDataPlane& dp, std::uint64_t epoch_ns)
+      : dp_(&dp), epoch_ns_(epoch_ns) {}
+
+  std::uint64_t epoch_ns() const noexcept { return epoch_ns_; }
+
+  /// Run a time-sorted trace.  For each epoch, packets are processed, then
+  /// `readout(epoch_index, packets_of_epoch)` runs against the frozen
+  /// registers, then registers are cleared.  Returns the number of epochs.
+  template <typename Readout>
+  unsigned run(std::span<const Packet> trace, Readout&& readout) {
+    unsigned epoch = 0;
+    std::size_t begin = 0;
+    while (begin < trace.size()) {
+      const std::uint64_t window_end =
+          (static_cast<std::uint64_t>(epoch) + 1) * epoch_ns_;
+      std::size_t end = begin;
+      while (end < trace.size() && trace[end].ts_ns < window_end) ++end;
+      for (std::size_t i = begin; i < end; ++i) dp_->process(trace[i]);
+      readout(epoch, trace.subspan(begin, end - begin));
+      dp_->clear_registers();
+      begin = end;
+      ++epoch;
+    }
+    return epoch;
+  }
+
+ private:
+  FlyMonDataPlane* dp_;
+  std::uint64_t epoch_ns_;
+};
+
+}  // namespace flymon::control

@@ -1,0 +1,72 @@
+#include "control/forwarding_sim.hpp"
+
+#include "common/rng.hpp"
+
+namespace flymon::control {
+
+std::vector<ReconfigEvent> paper_event_schedule() {
+  std::vector<ReconfigEvent> events;
+  constexpr ReconfigEventKind cycle[3] = {ReconfigEventKind::kAddTask,
+                                          ReconfigEventKind::kReallocMemory,
+                                          ReconfigEventKind::kDeleteTask};
+  for (unsigned i = 0; i < 9; ++i) {
+    events.push_back(ReconfigEvent{10.0 * (i + 1) - 5.0, cycle[i % 3]});
+  }
+  return events;
+}
+
+ForwardingSimResult simulate_forwarding(const ForwardingSimConfig& cfg,
+                                        const std::vector<ReconfigEvent>& events) {
+  Rng rng(cfg.seed);
+  ForwardingSimResult result;
+
+  // Static redeployment: deletions are skipped; remaining critical events
+  // are batched pairwise into single reloads (paper's two optimisations).
+  struct Outage {
+    double begin, end;
+  };
+  std::vector<Outage> outages;
+  unsigned pending_critical = 0;
+  for (const ReconfigEvent& e : events) {
+    if (e.kind == ReconfigEventKind::kDeleteTask) continue;
+    ++pending_critical;
+    if (pending_critical == 2) {
+      pending_critical = 0;
+      const double span = cfg.reload_outage_min_s +
+                          rng.next_double() *
+                              (cfg.reload_outage_max_s - cfg.reload_outage_min_s);
+      outages.push_back(Outage{e.time_s, e.time_s + span});
+      ++result.static_reloads;
+    }
+  }
+  if (pending_critical > 0) {  // trailing unbatched event still reloads
+    const double t = events.empty() ? 0.0 : events.back().time_s;
+    const double span =
+        cfg.reload_outage_min_s +
+        rng.next_double() * (cfg.reload_outage_max_s - cfg.reload_outage_min_s);
+    outages.push_back(Outage{t, t + span});
+    ++result.static_reloads;
+  }
+
+  for (double t = 0; t < cfg.duration_s; t += cfg.sample_period_s) {
+    ThroughputSample s;
+    s.time_s = t;
+    const double base = cfg.line_rate_gbps - cfg.noise_gbps * rng.next_double();
+    s.bare_gbps = base;
+    // FlyMon reconfiguration = runtime rule installs: no data-plane impact.
+    s.flymon_gbps = cfg.line_rate_gbps - cfg.noise_gbps * rng.next_double();
+    s.static_gbps = cfg.line_rate_gbps - cfg.noise_gbps * rng.next_double();
+    for (const Outage& o : outages) {
+      if (t >= o.begin && t < o.end) {
+        s.static_gbps = 0.0;
+        break;
+      }
+    }
+    result.samples.push_back(s);
+  }
+  for (const Outage& o : outages) result.static_outage_s += o.end - o.begin;
+  result.flymon_outage_s = 0.0;
+  return result;
+}
+
+}  // namespace flymon::control

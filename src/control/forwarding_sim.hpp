@@ -1,0 +1,53 @@
+// Forwarding-impact simulation (paper Fig 12a): compare traffic throughput
+// while reconfiguration events are applied with FlyMon (runtime rules, no
+// interruption) versus static redeployment (P4 reload, traffic stalls for
+// several seconds).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flymon::control {
+
+enum class ReconfigEventKind : std::uint8_t { kAddTask, kDeleteTask, kReallocMemory };
+
+struct ReconfigEvent {
+  double time_s = 0;
+  ReconfigEventKind kind = ReconfigEventKind::kAddTask;
+};
+
+struct ForwardingSimConfig {
+  double duration_s = 100.0;
+  double sample_period_s = 0.5;
+  double line_rate_gbps = 90.0;   ///< iPerf aggregate in the paper: 80-93 G
+  double noise_gbps = 5.0;
+  double reload_outage_min_s = 4.0;  ///< static redeploy stall (paper: 4-8 s)
+  double reload_outage_max_s = 8.0;
+  std::uint64_t seed = 42;
+};
+
+struct ThroughputSample {
+  double time_s = 0;
+  double bare_gbps = 0;     ///< no measurement functions
+  double flymon_gbps = 0;   ///< FlyMon runtime reconfiguration
+  double static_gbps = 0;   ///< reload-based reconfiguration
+};
+
+struct ForwardingSimResult {
+  std::vector<ThroughputSample> samples;
+  double flymon_outage_s = 0;
+  double static_outage_s = 0;
+  unsigned static_reloads = 0;
+};
+
+/// The paper's event schedule: 9 events, one every 10 s, cycling
+/// add / realloc / delete.
+std::vector<ReconfigEvent> paper_event_schedule();
+
+/// Run the simulation.  Static optimisations from the paper are applied:
+/// deletions trigger no reload, and consecutive critical events are batched
+/// two-per-reload.
+ForwardingSimResult simulate_forwarding(const ForwardingSimConfig& cfg,
+                                        const std::vector<ReconfigEvent>& events);
+
+}  // namespace flymon::control

@@ -1,0 +1,126 @@
+#include "control/rhhh.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace flymon::control {
+
+RhhhTask RhhhTask::deploy(Controller& ctl, std::vector<std::uint8_t> levels,
+                          std::uint32_t memory_buckets, unsigned rows) {
+  RhhhTask t;
+  std::sort(levels.begin(), levels.end());
+  if (levels.empty()) {
+    t.error_ = "RHHH needs at least one prefix level";
+    return t;
+  }
+  const std::size_t L = levels.size();
+  // A CMU tries its entries in priority order and each entry tosses its own
+  // coin, so an entry at fall-through position j must use the conditional
+  // probability 1/(L-j) for every level to execute with the same
+  // unconditional probability 1/L.  The position is only known after
+  // placement, so deploy with a trial probability, inspect where the task
+  // landed, and redeploy with the correct value (placement is
+  // deterministic, so the redeploy lands on the same CMUs).
+  auto chain_position = [&ctl](std::uint32_t task_id) -> std::size_t {
+    const DeployedTask* dt = ctl.task(task_id);
+    const UnitPlacement& up = dt->rows.front().units.front();
+    const auto& entries = ctl.dataplane().group(up.group).cmu(up.cmu).entries();
+    for (std::size_t j = 0; j < entries.size(); ++j) {
+      if (entries[j].task_id == up.phys_id) return j;
+    }
+    return 0;
+  };
+
+  for (std::uint8_t len : levels) {
+    TaskSpec s;
+    s.name = "rhhh/" + std::to_string(len);
+    s.key = FlowKeySpec::src_ip(len);
+    s.attribute = AttributeKind::kFrequency;
+    s.memory_buckets = memory_buckets;
+    s.rows = rows;
+    s.sample_probability = 0.5;  // trial value, corrected below
+    DeployResult r = ctl.add_task(s);
+    if (!r.ok) {
+      t.error_ = "level /" + std::to_string(len) + ": " + r.error;
+      for (std::uint32_t id : t.task_ids_) ctl.remove_task(id);
+      t.task_ids_.clear();
+      return t;
+    }
+    const std::size_t pos = chain_position(r.task_id);
+    const double p = pos + 1 >= L ? 1.0 : 1.0 / static_cast<double>(L - pos);
+    if (p != s.sample_probability) {
+      ctl.remove_task(r.task_id);
+      s.sample_probability = p;
+      r = ctl.add_task(s);
+      if (!r.ok) {
+        t.error_ = "level /" + std::to_string(len) + " (redeploy): " + r.error;
+        for (std::uint32_t id : t.task_ids_) ctl.remove_task(id);
+        t.task_ids_.clear();
+        return t;
+      }
+    }
+    t.levels_.push_back(len);
+    t.task_ids_.push_back(r.task_id);
+  }
+  t.ok_ = true;
+  return t;
+}
+
+std::uint64_t RhhhTask::query_level(const Controller& ctl, std::uint8_t prefix_len,
+                                    const Packet& probe) const {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i] != prefix_len) continue;
+    const std::uint64_t sampled = ctl.query_value(task_ids_[i], probe);
+    return sampled * levels_.size();  // undo the 1/L sampling
+  }
+  return 0;
+}
+
+std::vector<RhhhTask::Report> RhhhTask::hierarchical_heavy_hitters(
+    const Controller& ctl, const std::vector<FlowKeyValue>& flow_candidates,
+    std::uint64_t threshold) const {
+  std::vector<Report> out;
+  // Residual bookkeeping: a child reported at a finer level discounts its
+  // ancestors at every coarser level.
+  std::unordered_map<FlowKeyValue, std::uint64_t> discount;
+
+  // Walk levels finest-first so descendants are known before ancestors.
+  for (std::size_t li = levels_.size(); li-- > 0;) {
+    const std::uint8_t len = levels_[li];
+    const FlowKeySpec level_spec = FlowKeySpec::src_ip(len);
+
+    // Distinct prefixes of this level among the candidates.
+    std::unordered_set<FlowKeyValue> prefixes;
+    for (const FlowKeyValue& flow : flow_candidates) {
+      prefixes.insert(mask_candidate_key(flow.bytes, level_spec));
+    }
+    for (const FlowKeyValue& prefix : prefixes) {
+      const Packet probe = packet_from_candidate_key(prefix.bytes);
+      const std::uint64_t total = query_level(ctl, len, probe);
+      const auto it = discount.find(prefix);
+      const std::uint64_t discounted = it == discount.end() ? 0 : it->second;
+      const std::uint64_t residual = total > discounted ? total - discounted : 0;
+      if (residual < threshold) continue;
+      out.push_back(Report{len, prefix, residual});
+      // Charge this report to every coarser ancestor prefix.
+      for (std::size_t aj = 0; aj < li; ++aj) {
+        const FlowKeyValue ancestor =
+            mask_candidate_key(prefix.bytes, FlowKeySpec::src_ip(levels_[aj]));
+        discount[ancestor] += residual;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Report& a, const Report& b) {
+    return a.prefix_len != b.prefix_len ? a.prefix_len < b.prefix_len
+                                        : a.estimate > b.estimate;
+  });
+  return out;
+}
+
+void RhhhTask::remove(Controller& ctl) const {
+  for (std::uint32_t id : task_ids_) ctl.remove_task(id);
+}
+
+}  // namespace flymon::control

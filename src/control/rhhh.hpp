@@ -1,0 +1,55 @@
+// Randomized Hierarchical Heavy Hitters (RHHH, Basat et al.) composed from
+// FlyMon primitives — the last algorithm the paper's Fig 5 decomposition
+// names.  One frequency task per prefix level shares the same CMUs through
+// probabilistic execution (each packet updates one uniformly-chosen level),
+// and readout scales estimates back by the level count.  This is exactly
+// the multitasking-parallelism mechanism of §3.3/§6 put to work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+
+namespace flymon::control {
+
+class RhhhTask {
+ public:
+  struct Report {
+    std::uint8_t prefix_len = 0;
+    FlowKeyValue key;
+    std::uint64_t estimate = 0;
+  };
+
+  /// Deploy one per-level task for every source-prefix length in `levels`
+  /// (e.g. {8, 16, 24, 32}), all sampling at 1/|levels|.
+  static RhhhTask deploy(Controller& ctl, std::vector<std::uint8_t> levels,
+                         std::uint32_t memory_buckets, unsigned rows = 3);
+
+  bool ok() const noexcept { return ok_; }
+  const std::string& error() const noexcept { return error_; }
+  const std::vector<std::uint8_t>& levels() const noexcept { return levels_; }
+  const std::vector<std::uint32_t>& task_ids() const noexcept { return task_ids_; }
+
+  /// Sampling-corrected frequency estimate of `probe` at one level.
+  std::uint64_t query_level(const Controller& ctl, std::uint8_t prefix_len,
+                            const Packet& probe) const;
+
+  /// Hierarchical heavy hitters: for each level, the candidate prefixes
+  /// whose *residual* frequency (total minus already-reported descendants)
+  /// crosses the threshold — the standard HHH semantics.
+  std::vector<Report> hierarchical_heavy_hitters(
+      const Controller& ctl, const std::vector<FlowKeyValue>& flow_candidates,
+      std::uint64_t threshold) const;
+
+  void remove(Controller& ctl) const;
+
+ private:
+  bool ok_ = false;
+  std::string error_;
+  std::vector<std::uint8_t> levels_;       // sorted ascending (coarse first)
+  std::vector<std::uint32_t> task_ids_;    // parallel to levels_
+};
+
+}  // namespace flymon::control

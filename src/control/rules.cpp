@@ -1,0 +1,171 @@
+#include "control/rules.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "dataplane/tcam.hpp"
+
+namespace flymon::control {
+namespace {
+
+std::string ip_to_string(std::uint32_t ip) {
+  std::ostringstream out;
+  out << (ip >> 24) << '.' << ((ip >> 16) & 255) << '.' << ((ip >> 8) & 255) << '.'
+      << (ip & 255);
+  return out.str();
+}
+
+std::string filter_to_string(const TaskFilter& f) {
+  if (f.is_wildcard()) return "*";
+  std::ostringstream out;
+  if (f.src_len != 0) out << "src " << ip_to_string(f.src_ip) << '/' << int(f.src_len);
+  if (f.dst_len != 0) {
+    if (f.src_len != 0) out << ", ";
+    out << "dst " << ip_to_string(f.dst_ip) << '/' << int(f.dst_len);
+  }
+  return out.str();
+}
+
+std::string selector_to_string(const CompressedKeySelector& sel) {
+  std::ostringstream out;
+  out << "H" << int(sel.unit_a);
+  if (sel.unit_b >= 0) out << "^H" << int(sel.unit_b);
+  return out.str();
+}
+
+std::string param_to_string(const ParamSelect& p) {
+  std::ostringstream out;
+  switch (p.source) {
+    case ParamSelect::Source::kConst:
+      out << "const(0x" << std::hex << p.const_value << ")";
+      break;
+    case ParamSelect::Source::kMeta:
+      out << "meta(" << static_cast<int>(p.meta) << ")";
+      break;
+    case ParamSelect::Source::kCompressedKey:
+      out << selector_to_string(p.key_sel) << "[" << int(p.slice.offset) << "+"
+          << int(p.slice.width) << "]";
+      break;
+    case ParamSelect::Source::kChain:
+      out << "chain(" << p.const_value << ")";
+      break;
+  }
+  return out.str();
+}
+
+std::string unit_prefix(const UnitPlacement& up) {
+  return "g" + std::to_string(up.group) + ".cmu" + std::to_string(up.cmu);
+}
+
+}  // namespace
+
+std::vector<RuntimeRule> render_rules(const Controller& ctl, std::uint32_t id) {
+  const DeployedTask* t = ctl.task(id);
+  if (t == nullptr) throw std::out_of_range("render_rules: unknown task");
+  const FlyMonDataPlane& dp = ctl.dataplane();
+
+  std::vector<RuntimeRule> rules;
+  std::set<std::pair<unsigned, unsigned>> masked_units;
+
+  for (const RowPlacement& row : t->rows) {
+    for (const UnitPlacement& up : row.units) {
+      const Cmu& cmu = dp.group(up.group).cmu(up.cmu);
+      const CmuTaskEntry* e = cmu.find(up.phys_id);
+      if (e == nullptr) continue;
+      const std::string at = unit_prefix(up);
+
+      // Hash-mask rules this entry depends on (one per compression unit).
+      auto need_unit = [&](std::int8_t u) {
+        if (u < 0) return;
+        const auto key = std::make_pair(up.group, static_cast<unsigned>(u));
+        if (!masked_units.insert(key).second) return;
+        const auto& spec = dp.group(up.group).compression().spec_of(key.second);
+        if (!spec) return;
+        rules.push_back(RuntimeRule{
+            RuntimeRule::Kind::kHashMask,
+            "g" + std::to_string(up.group) + ".compression.u" + std::to_string(u),
+            "-", "set_dyn_hash_mask(" + spec->name() + ")"});
+      };
+      need_unit(e->key_sel.unit_a);
+      need_unit(e->key_sel.unit_b);
+      if (e->p1.source == ParamSelect::Source::kCompressedKey) {
+        need_unit(e->p1.key_sel.unit_a);
+        need_unit(e->p1.key_sel.unit_b);
+      }
+
+      // Initialization: filter -> key/param selection.
+      rules.push_back(RuntimeRule{
+          RuntimeRule::Kind::kTableEntry, at + ".init", filter_to_string(e->filter),
+          "set_key(" + selector_to_string(e->key_sel) + "[" +
+              std::to_string(e->key_slice.offset) + "+" +
+              std::to_string(e->key_slice.width) + "]); set_params(" +
+              param_to_string(e->p1) + ", " + param_to_string(e->p2) + ")"});
+
+      // Preparation: address translation, rendered through the actual
+      // TCAM range expansion (paper Fig 9).
+      const std::uint32_t total = cmu.reg().size();
+      if (ctl.strategy() == TranslationStrategy::kTcam &&
+          e->partition.size < total) {
+        const std::uint32_t blocks = total / e->partition.size;
+        const std::uint32_t home = e->partition.base / e->partition.size;
+        for (std::uint32_t b = 0; b < blocks; ++b) {
+          if (b == home) continue;  // already in place: default entry
+          const std::uint64_t lo = std::uint64_t{b} * e->partition.size;
+          const std::uint64_t hi = lo + e->partition.size - 1;
+          const auto patterns =
+              dataplane::range_to_ternary(lo, hi, log2_floor(total));
+          for (const auto& p : patterns) {
+            std::ostringstream match;
+            match << "addr&0x" << std::hex << p.mask << "==0x" << p.value;
+            const std::int64_t offset =
+                static_cast<std::int64_t>(e->partition.base) -
+                static_cast<std::int64_t>(lo);
+            rules.push_back(RuntimeRule{RuntimeRule::Kind::kTableEntry,
+                                        at + ".prep.addr", match.str(),
+                                        (offset >= 0 ? "ADD(" : "SUB(") +
+                                            std::to_string(std::abs(offset)) + ")"});
+          }
+        }
+        rules.push_back(RuntimeRule{RuntimeRule::Kind::kTableEntry, at + ".prep.addr",
+                                    "default", "NoAction"});
+      } else if (e->partition.size < total || e->partition.base != 0) {
+        rules.push_back(
+            RuntimeRule{RuntimeRule::Kind::kTableEntry, at + ".prep.addr",
+                        filter_to_string(e->filter),
+                        ">>(" + std::to_string(log2_floor(total / e->partition.size)) +
+                            "); base(" + std::to_string(e->partition.base) + ")"});
+      }
+
+      // Preparation: coupon windows (BeauCoup).
+      if (e->prep == PrepFn::kCouponOneHot) {
+        for (unsigned c = 0; c < e->coupon.num_coupons; ++c) {
+          std::ostringstream match;
+          match << "p1 in window " << c << " (p=" << e->coupon.draw_probability << ")";
+          rules.push_back(RuntimeRule{RuntimeRule::Kind::kTableEntry,
+                                      at + ".prep.coupon", match.str(),
+                                      "one_hot(" + std::to_string(c) + ")"});
+        }
+        rules.push_back(RuntimeRule{RuntimeRule::Kind::kTableEntry, at + ".prep.coupon",
+                                    "default", "abort_update"});
+      }
+
+      // Operation select.
+      rules.push_back(RuntimeRule{RuntimeRule::Kind::kTableEntry, at + ".op",
+                                  filter_to_string(e->filter),
+                                  std::string("select_op(") + to_string(e->op) + ")"});
+    }
+  }
+  return rules;
+}
+
+std::string format_rules(const std::vector<RuntimeRule>& rules) {
+  std::ostringstream out;
+  for (const RuntimeRule& r : rules) {
+    out << (r.kind == RuntimeRule::Kind::kHashMask ? "[mask ] " : "[table] ")
+        << r.table << " | " << r.match << " | " << r.action << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace flymon::control

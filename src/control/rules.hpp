@@ -1,0 +1,34 @@
+// Runtime-rule rendering: the concrete southbound rules (P4Runtime-style,
+// paper §3 Fig 3) that realise a deployed task — hash-mask reconfigurations
+// for the compression stage, initialization-table entries binding filter ->
+// (key, params, op), TCAM address-translation entries (rendered through the
+// real range expansion), and operation-select entries.  Useful for audit,
+// debugging, and for checking the deployment-delay model against the rules
+// that actually exist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+
+namespace flymon::control {
+
+struct RuntimeRule {
+  enum class Kind : std::uint8_t { kHashMask, kTableEntry };
+
+  Kind kind = Kind::kTableEntry;
+  std::string table;   ///< e.g. "g0.compression.u1", "g0.cmu2.init"
+  std::string match;   ///< human-readable match fields
+  std::string action;  ///< action name + parameters
+};
+
+/// Render every runtime rule that realises task `id` on the data plane.
+/// Throws std::out_of_range for unknown tasks.
+std::vector<RuntimeRule> render_rules(const Controller& ctl, std::uint32_t id);
+
+/// One rule per line, pipe-separated columns.
+std::string format_rules(const std::vector<RuntimeRule>& rules);
+
+}  // namespace flymon::control

@@ -1,0 +1,438 @@
+#include "control/shell.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace flymon::control {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+/// "key=value" -> value for `key`, or nullopt.
+std::optional<std::string> arg_value(const std::vector<std::string>& args,
+                                     const std::string& key) {
+  const std::string prefix = key + "=";
+  for (const std::string& a : args) {
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<AttributeKind> parse_attr(const std::string& s) {
+  if (s == "Frequency") return AttributeKind::kFrequency;
+  if (s == "Distinct") return AttributeKind::kDistinct;
+  if (s == "Existence") return AttributeKind::kExistence;
+  if (s == "Max") return AttributeKind::kMax;
+  if (s == "Similarity") return AttributeKind::kSimilarity;
+  return std::nullopt;
+}
+
+std::optional<Algorithm> parse_algo(const std::string& s) {
+  if (s == "Auto") return Algorithm::kAuto;
+  if (s == "CMS") return Algorithm::kCms;
+  if (s == "SuMaxSum") return Algorithm::kSuMaxSum;
+  if (s == "MRAC") return Algorithm::kMrac;
+  if (s == "Tower") return Algorithm::kTowerSketch;
+  if (s == "CounterBraids") return Algorithm::kCounterBraids;
+  if (s == "BeauCoup") return Algorithm::kBeauCoup;
+  if (s == "HLL") return Algorithm::kHyperLogLog;
+  if (s == "LinearCounting") return Algorithm::kLinearCounting;
+  if (s == "BloomFilter") return Algorithm::kBloomFilter;
+  if (s == "SuMaxMax") return Algorithm::kSuMaxMax;
+  if (s == "MaxInterarrival") return Algorithm::kMaxInterarrival;
+  if (s == "OddSketch") return Algorithm::kOddSketch;
+  return std::nullopt;
+}
+
+std::optional<MetaField> parse_meta(const std::string& s) {
+  if (s == "One") return MetaField::kOne;
+  if (s == "Bytes") return MetaField::kWireBytes;
+  if (s == "QueueLen") return MetaField::kQueueLen;
+  if (s == "QueueDelay") return MetaField::kQueueDelay;
+  if (s == "Timestamp") return MetaField::kTimestamp;
+  return std::nullopt;
+}
+
+/// "10.0.0.0/8" -> (ip, len).
+std::optional<std::pair<std::uint32_t, std::uint8_t>> parse_prefix(const std::string& s) {
+  const auto slash = s.find('/');
+  const std::string ip_part = slash == std::string::npos ? s : s.substr(0, slash);
+  const auto ip = parse_ipv4(ip_part);
+  if (!ip) return std::nullopt;
+  std::uint8_t len = 32;
+  if (slash != std::string::npos) {
+    const auto l = parse_u64(s.substr(slash + 1));
+    if (!l || *l > 32) return std::nullopt;
+    len = static_cast<std::uint8_t>(*l);
+  }
+  return std::make_pair(*ip, len);
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> parse_ipv4(const std::string& text) {
+  std::uint32_t ip = 0;
+  std::size_t pos = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    std::uint32_t v = 0;
+    const char* begin = text.data() + pos;
+    const char* end = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc{} || ptr == begin || v > 255) return std::nullopt;
+    pos = static_cast<std::size_t>(ptr - text.data());
+    ip = (ip << 8) | v;
+  }
+  return pos == text.size() ? std::optional<std::uint32_t>(ip) : std::nullopt;
+}
+
+std::optional<FlowKeySpec> parse_key_spec(const std::string& text) {
+  if (text == "IPPair") return FlowKeySpec::ip_pair();
+  if (text == "5Tuple") return FlowKeySpec::five_tuple();
+  FlowKeySpec spec;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t plus = text.find('+', begin);
+    const std::string field =
+        text.substr(begin, plus == std::string::npos ? std::string::npos : plus - begin);
+    std::string name = field;
+    std::uint8_t len = 0;
+    const auto slash = field.find('/');
+    if (slash != std::string::npos) {
+      name = field.substr(0, slash);
+      const auto l = parse_u64(field.substr(slash + 1));
+      if (!l || *l > 32) return std::nullopt;
+      len = static_cast<std::uint8_t>(*l);
+    }
+    // Each field may appear at most once.
+    if (name == "SrcIP" && spec.src_ip_bits == 0) {
+      spec.src_ip_bits = len == 0 ? 32 : len;
+    } else if (name == "DstIP" && spec.dst_ip_bits == 0) {
+      spec.dst_ip_bits = len == 0 ? 32 : len;
+    } else if (name == "SrcPort" && spec.src_port_bits == 0) {
+      spec.src_port_bits = 16;
+    } else if (name == "DstPort" && spec.dst_port_bits == 0) {
+      spec.dst_port_bits = 16;
+    } else if (name == "Proto" && spec.proto_bits == 0) {
+      spec.proto_bits = 8;
+    } else if (name == "Ts" && spec.ts_bits == 0) {
+      spec.ts_bits = 32;
+    } else {
+      return std::nullopt;
+    }
+    if (plus == std::string::npos) break;
+    begin = plus + 1;
+  }
+  if (spec.empty()) return std::nullopt;
+  return spec;
+}
+
+std::string Shell::help() {
+  return
+      "commands:\n"
+      "  add key=<spec> attr=<Frequency|Distinct|Existence|Max|Similarity>\n"
+      "      [param=<One|Bytes|QueueLen|QueueDelay|Timestamp|key:<spec>>]\n"
+      "      [algo=<CMS|SuMaxSum|MRAC|Tower|CounterBraids|BeauCoup|HLL|\n"
+      "             LinearCounting|BloomFilter|SuMaxMax|MaxInterarrival|OddSketch>]\n"
+      "      [mem=<buckets>] [rows=<d>] [filter=<ip/len>] [dstfilter=<ip/len>]\n"
+      "      [threshold=<n>] [name=<text>]\n"
+      "  remove <id>            retire a task and reclaim its resources\n"
+      "  resize <id> <buckets>  reallocate memory (id is stable)\n"
+      "  split <id>             split into two filter-halved subtasks\n"
+      "  query <id> src=<ip> [dst=<ip>] [sport=<n>] [dport=<n>] [proto=<n>]\n"
+      "  cardinality <id>       distinct-count estimate (HLL/LinearCounting)\n"
+      "  entropy <id>           flow entropy estimate (MRAC)\n"
+      "  occupancy <id>         register load factor of a task\n"
+      "  rebalance              adaptive grow/shrink of every task's memory\n"
+      "  list | stats | help";
+}
+
+std::string Shell::execute(const std::string& line) {
+  const std::vector<std::string> tokens = tokenize(line);
+  if (tokens.empty()) return "";
+  const std::string& cmd = tokens[0];
+  const std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+  if (cmd == "help") return help();
+  if (cmd == "add") return cmd_add(args);
+  if (cmd == "remove") return cmd_remove(args);
+  if (cmd == "resize") return cmd_resize(args);
+  if (cmd == "split") return cmd_split(args);
+  if (cmd == "list") return cmd_list();
+  if (cmd == "stats") return cmd_stats();
+  if (cmd == "query") return cmd_query(args);
+  if (cmd == "cardinality") return cmd_cardinality(args);
+  if (cmd == "entropy") return cmd_entropy(args);
+  if (cmd == "occupancy") return cmd_occupancy(args);
+  if (cmd == "rebalance") return cmd_rebalance();
+  return "error: unknown command '" + cmd + "' (try 'help')";
+}
+
+std::string Shell::cmd_add(const std::vector<std::string>& args) {
+  TaskSpec spec;
+  if (const auto v = arg_value(args, "name")) spec.name = *v;
+
+  if (const auto v = arg_value(args, "key")) {
+    const auto key = parse_key_spec(*v);
+    if (!key) return "error: bad key spec '" + *v + "'";
+    spec.key = *key;
+  }
+  const auto attr_text = arg_value(args, "attr");
+  if (!attr_text) return "error: attr= is required";
+  const auto attr = parse_attr(*attr_text);
+  if (!attr) return "error: bad attribute '" + *attr_text + "'";
+  spec.attribute = *attr;
+
+  if (const auto v = arg_value(args, "param")) {
+    if (v->rfind("key:", 0) == 0) {
+      const auto key = parse_key_spec(v->substr(4));
+      if (!key) return "error: bad param key spec";
+      spec.param = ParamSpec::compressed(*key);
+    } else if (const auto meta = parse_meta(*v)) {
+      spec.param = ParamSpec::metadata(*meta);
+    } else if (const auto n = parse_u64(*v)) {
+      spec.param = ParamSpec::constant(static_cast<std::uint32_t>(*n));
+    } else {
+      return "error: bad param '" + *v + "'";
+    }
+  } else if (spec.attribute == AttributeKind::kDistinct ||
+             spec.attribute == AttributeKind::kExistence ||
+             spec.attribute == AttributeKind::kSimilarity) {
+    spec.param = ParamSpec::compressed(
+        spec.key.empty() ? FlowKeySpec::five_tuple() : spec.key);
+  }
+
+  if (const auto v = arg_value(args, "algo")) {
+    const auto algo = parse_algo(*v);
+    if (!algo) return "error: bad algorithm '" + *v + "'";
+    spec.algorithm = *algo;
+  }
+  if (const auto v = arg_value(args, "mem")) {
+    const auto n = parse_u64(*v);
+    if (!n || *n == 0) return "error: bad mem";
+    spec.memory_buckets = static_cast<std::uint32_t>(*n);
+  }
+  if (const auto v = arg_value(args, "rows")) {
+    const auto n = parse_u64(*v);
+    if (!n || *n == 0 || *n > 3) return "error: rows must be 1..3";
+    spec.rows = static_cast<unsigned>(*n);
+  }
+  if (const auto v = arg_value(args, "threshold")) {
+    const auto n = parse_u64(*v);
+    if (!n) return "error: bad threshold";
+    spec.report_threshold = *n;
+  }
+  if (const auto v = arg_value(args, "filter")) {
+    const auto p = parse_prefix(*v);
+    if (!p) return "error: bad filter '" + *v + "'";
+    spec.filter.src_ip = p->first;
+    spec.filter.src_len = p->second;
+  }
+  if (const auto v = arg_value(args, "dstfilter")) {
+    const auto p = parse_prefix(*v);
+    if (!p) return "error: bad dstfilter '" + *v + "'";
+    spec.filter.dst_ip = p->first;
+    spec.filter.dst_len = p->second;
+  }
+
+  const DeployResult r = ctl_->add_task(spec);
+  if (!r.ok) return "error: " + r.error;
+  std::ostringstream out;
+  out << "task " << r.task_id << " deployed: " << r.report.table_rules
+      << " table rules, " << r.report.hash_mask_rules << " hash masks, "
+      << r.report.cmus_used << " CMUs, " << r.report.delay_ms() << " ms";
+  return out.str();
+}
+
+std::string Shell::cmd_remove(const std::vector<std::string>& args) {
+  if (args.size() != 1) return "error: usage: remove <id>";
+  const auto id = parse_u64(args[0]);
+  if (!id) return "error: bad id";
+  return ctl_->remove_task(static_cast<std::uint32_t>(*id)) ? "removed"
+                                                            : "error: unknown task";
+}
+
+std::string Shell::cmd_resize(const std::vector<std::string>& args) {
+  if (args.size() != 2) return "error: usage: resize <id> <buckets>";
+  const auto id = parse_u64(args[0]);
+  const auto buckets = parse_u64(args[1]);
+  if (!id || !buckets) return "error: bad arguments";
+  const DeployResult r =
+      ctl_->resize_task(static_cast<std::uint32_t>(*id), static_cast<std::uint32_t>(*buckets));
+  if (!r.ok) return "error: " + r.error;
+  std::ostringstream out;
+  out << "task " << r.task_id << " resized to "
+      << ctl_->task(r.task_id)->buckets << " buckets in " << r.report.delay_ms()
+      << " ms";
+  return out.str();
+}
+
+std::string Shell::cmd_split(const std::vector<std::string>& args) {
+  if (args.size() != 1) return "error: usage: split <id>";
+  const auto id = parse_u64(args[0]);
+  if (!id) return "error: bad id";
+  const auto [lo, hi] = ctl_->split_task(static_cast<std::uint32_t>(*id));
+  if (!lo.ok) return "error: " + lo.error;
+  std::ostringstream out;
+  out << "split into tasks " << lo.task_id << " and " << hi.task_id;
+  return out.str();
+}
+
+std::string Shell::cmd_list() const {
+  std::ostringstream out;
+  out << "id   algorithm        attr        rows  buckets  name\n";
+  for (std::uint32_t id : ctl_->task_ids()) {
+    const DeployedTask* t = ctl_->task(id);
+    char line[160];
+    std::snprintf(line, sizeof line, "%-4u %-16s %-11s %-5zu %-8u %s\n", id,
+                  to_string(t->algorithm), to_string(t->spec.attribute),
+                  t->rows.size(), t->buckets, t->spec.name.c_str());
+    out << line;
+  }
+  if (ctl_->task_ids().empty()) out << "(no tasks)\n";
+  return out.str();
+}
+
+std::string Shell::cmd_stats() const {
+  std::ostringstream out;
+  auto& dp = ctl_->dataplane();
+  out << "group cmu free-buckets\n";
+  for (unsigned g = 0; g < dp.num_groups(); ++g) {
+    for (unsigned c = 0; c < dp.group(g).num_cmus(); ++c) {
+      const std::uint32_t free = ctl_->free_buckets(g, c);
+      if (free != dp.group(g).config().register_buckets) {
+        char line[64];
+        std::snprintf(line, sizeof line, "%-5u %-3u %u\n", g, c, free);
+        out << line;
+      }
+    }
+  }
+  out << "tasks: " << ctl_->num_tasks();
+  return out.str();
+}
+
+std::string Shell::cmd_query(const std::vector<std::string>& args) const {
+  if (args.empty()) return "error: usage: query <id> src=<ip> ...";
+  const auto id = parse_u64(args[0]);
+  if (!id || ctl_->task(static_cast<std::uint32_t>(*id)) == nullptr) {
+    return "error: unknown task";
+  }
+  Packet probe;
+  if (const auto v = arg_value(args, "src")) {
+    const auto ip = parse_ipv4(*v);
+    if (!ip) return "error: bad src ip";
+    probe.ft.src_ip = *ip;
+  }
+  if (const auto v = arg_value(args, "dst")) {
+    const auto ip = parse_ipv4(*v);
+    if (!ip) return "error: bad dst ip";
+    probe.ft.dst_ip = *ip;
+  }
+  if (const auto v = arg_value(args, "sport")) {
+    probe.ft.src_port = static_cast<std::uint16_t>(parse_u64(*v).value_or(0));
+  }
+  if (const auto v = arg_value(args, "dport")) {
+    probe.ft.dst_port = static_cast<std::uint16_t>(parse_u64(*v).value_or(0));
+  }
+  if (const auto v = arg_value(args, "proto")) {
+    probe.ft.protocol = static_cast<std::uint8_t>(parse_u64(*v).value_or(0));
+  }
+
+  const auto tid = static_cast<std::uint32_t>(*id);
+  const DeployedTask* t = ctl_->task(tid);
+  std::ostringstream out;
+  switch (t->spec.attribute) {
+    case AttributeKind::kExistence:
+      out << (ctl_->query_existence(tid, probe) ? "present" : "absent");
+      break;
+    case AttributeKind::kDistinct:
+      if (t->algorithm == Algorithm::kBeauCoup) {
+        out << "distinct ~ " << ctl_->estimate_distinct(tid, probe)
+            << (ctl_->distinct_over_threshold(tid, probe) ? " (over threshold)" : "");
+      } else {
+        out << "cardinality ~ " << ctl_->estimate_cardinality(tid);
+      }
+      break;
+    case AttributeKind::kMax:
+      if (t->algorithm == Algorithm::kMaxInterarrival) {
+        out << "max inter-arrival " << ctl_->query_max_interarrival_ns(tid, probe)
+            << " ns";
+      } else {
+        out << "max " << ctl_->query_value(tid, probe);
+      }
+      break;
+    case AttributeKind::kSimilarity:
+      out << "set size ~ " << ctl_->estimate_set_size(tid);
+      break;
+    default:
+      out << "value " << ctl_->query_value(tid, probe);
+  }
+  return out.str();
+}
+
+std::string Shell::cmd_cardinality(const std::vector<std::string>& args) const {
+  if (args.size() != 1) return "error: usage: cardinality <id>";
+  const auto id = parse_u64(args[0]);
+  if (!id || ctl_->task(static_cast<std::uint32_t>(*id)) == nullptr) {
+    return "error: unknown task";
+  }
+  std::ostringstream out;
+  out << ctl_->estimate_cardinality(static_cast<std::uint32_t>(*id));
+  return out.str();
+}
+
+std::string Shell::cmd_entropy(const std::vector<std::string>& args) const {
+  if (args.size() != 1) return "error: usage: entropy <id>";
+  const auto id = parse_u64(args[0]);
+  if (!id || ctl_->task(static_cast<std::uint32_t>(*id)) == nullptr) {
+    return "error: unknown task";
+  }
+  std::ostringstream out;
+  out << ctl_->estimate_entropy(static_cast<std::uint32_t>(*id)) << " nats";
+  return out.str();
+}
+
+std::string Shell::cmd_occupancy(const std::vector<std::string>& args) {
+  if (args.size() != 1) return "error: usage: occupancy <id>";
+  const auto id = parse_u64(args[0]);
+  if (!id || ctl_->task(static_cast<std::uint32_t>(*id)) == nullptr) {
+    return "error: unknown task";
+  }
+  std::ostringstream out;
+  out << adaptive_.occupancy(static_cast<std::uint32_t>(*id));
+  return out.str();
+}
+
+std::string Shell::cmd_rebalance() {
+  const auto decisions = adaptive_.rebalance();
+  std::ostringstream out;
+  unsigned resized = 0;
+  for (const auto& d : decisions) {
+    if (!d.attempted) continue;
+    char line[128];
+    std::snprintf(line, sizeof line, "task %u: occupancy %.2f, %u -> %u buckets%s\n",
+                  d.task_id, d.occupancy, d.old_buckets, d.new_buckets,
+                  d.resized ? "" : " (resize failed)");
+    out << line;
+    resized += d.resized;
+  }
+  out << resized << " task(s) resized";
+  return out.str();
+}
+
+}  // namespace flymon::control

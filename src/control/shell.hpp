@@ -1,0 +1,53 @@
+// An interactive, scriptable control-plane front end (the open-source
+// FlyMon artifact ships an interactive control plane; this is its
+// equivalent here).  Commands are plain text lines; `execute` returns the
+// response, so the shell is equally usable from a terminal or from tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "control/adaptive.hpp"
+#include "control/controller.hpp"
+
+namespace flymon::control {
+
+/// Parse "10.1.2.3" -> host-order IPv4.  Returns nullopt on malformed input.
+std::optional<std::uint32_t> parse_ipv4(const std::string& text);
+
+/// Parse a flow-key spec: '+'-joined fields from {SrcIP[/len], DstIP[/len],
+/// SrcPort, DstPort, Proto, Ts}, plus the aliases IPPair and 5Tuple.
+std::optional<FlowKeySpec> parse_key_spec(const std::string& text);
+
+class Shell {
+ public:
+  explicit Shell(Controller& ctl) : ctl_(&ctl), adaptive_(ctl) {}
+
+  /// Execute one command line; returns the printable response.
+  /// Unknown or malformed commands return an "error: ..." string and
+  /// change nothing.
+  std::string execute(const std::string& line);
+
+  /// Command summary (the `help` output).
+  static std::string help();
+
+ private:
+  std::string cmd_add(const std::vector<std::string>& args);
+  std::string cmd_remove(const std::vector<std::string>& args);
+  std::string cmd_resize(const std::vector<std::string>& args);
+  std::string cmd_split(const std::vector<std::string>& args);
+  std::string cmd_list() const;
+  std::string cmd_stats() const;
+  std::string cmd_query(const std::vector<std::string>& args) const;
+  std::string cmd_cardinality(const std::vector<std::string>& args) const;
+  std::string cmd_entropy(const std::vector<std::string>& args) const;
+  std::string cmd_occupancy(const std::vector<std::string>& args);
+  std::string cmd_rebalance();
+
+  Controller* ctl_;
+  AdaptiveMemoryManager adaptive_;
+};
+
+}  // namespace flymon::control

@@ -1,0 +1,138 @@
+#include "control/static_deploy.hpp"
+
+#include "dataplane/tofino_model.hpp"
+
+namespace flymon::control {
+
+using dataplane::Resource;
+using dataplane::StageDemand;
+using dataplane::TofinoModel;
+
+StageDemand StaticSketchFootprint::row_demand() const {
+  StageDemand d;
+  d.add(Resource::kHashUnit, hash_units_per_row);
+  d.add(Resource::kSalu, 1);
+  d.add(Resource::kSramBlock, rows == 0 ? 0 : (sram_blocks_total + rows - 1) / rows);
+  d.add(Resource::kTcamBlock, rows == 0 ? 0 : (tcam_blocks_total + rows - 1) / rows);
+  d.add(Resource::kVliwSlot, rows == 0 ? 0 : (vliw_slots_total + rows - 1) / rows);
+  d.add(Resource::kLogicalTable, rows == 0 ? 0 : (logical_tables_total + rows - 1) / rows);
+  return d;
+}
+
+std::vector<StaticSketchFootprint> fig2_sketches() {
+  // Sizing as in the paper's setting: 5-tuple (104-bit) keys, d=3 rows,
+  // 64K x 32-bit counters for counter sketches, 512K-bit Bloom filter,
+  // 16K HLL registers.  Per row: a 104-bit key spans two 52-bit hash-unit
+  // inputs plus the hash distribution unit the SALU always consumes for
+  // register addressing (paper footnote 4); per row the compiler emits a
+  // key-build table, a hash table, a register table and a readout action.
+  std::vector<StaticSketchFootprint> out;
+
+  StaticSketchFootprint bf;
+  bf.name = "BloomFilter";
+  bf.rows = 3;
+  bf.hash_units_per_row = 3;
+  bf.sram_blocks_total = 3 * TofinoModel::sram_blocks_for(512 * 1024, 1) / 1;
+  bf.vliw_slots_total = 12;
+  bf.logical_tables_total = 12;
+  bf.phv_bits = 104 + 32;
+  out.push_back(bf);
+
+  StaticSketchFootprint cms;
+  cms.name = "CMS";
+  cms.rows = 3;
+  cms.hash_units_per_row = 3;
+  cms.sram_blocks_total = 3 * TofinoModel::sram_blocks_for(65536, 32);
+  cms.vliw_slots_total = 12;
+  cms.logical_tables_total = 12;
+  cms.phv_bits = 104 + 32;
+  out.push_back(cms);
+
+  StaticSketchFootprint hll;
+  hll.name = "HLL";
+  hll.rows = 1;
+  hll.hash_units_per_row = 3;
+  hll.sram_blocks_total = TofinoModel::sram_blocks_for(16384, 32);
+  hll.tcam_blocks_total = 1;  // rho tracking via TCAM priority entries
+  hll.vliw_slots_total = 4;
+  hll.logical_tables_total = 4;
+  hll.phv_bits = 104 + 32;
+  out.push_back(hll);
+
+  StaticSketchFootprint mrac;
+  mrac.name = "MRAC";
+  mrac.rows = 1;
+  mrac.hash_units_per_row = 3;
+  mrac.sram_blocks_total = TofinoModel::sram_blocks_for(65536, 32);
+  mrac.vliw_slots_total = 4;
+  mrac.logical_tables_total = 4;
+  mrac.phv_bits = 104 + 32;
+  out.push_back(mrac);
+  return out;
+}
+
+StageDemand switch_p4_baseline_per_stage() {
+  // Calibrated to the switch.p4 bars of paper Fig 13a: hash ~33%,
+  // SALU ~25%, SRAM ~30%, TCAM ~29%, VLIW ~34%, logical tables ~44%.
+  StageDemand d;
+  d.add(Resource::kHashUnit, 2);
+  d.add(Resource::kSalu, 1);
+  d.add(Resource::kSramBlock, 24);
+  d.add(Resource::kTcamBlock, 7);
+  d.add(Resource::kVliwSlot, 11);
+  d.add(Resource::kLogicalTable, 7);
+  return d;
+}
+
+unsigned switch_p4_baseline_phv_bits() {
+  // L2/L3/ACL metadata of the baseline program.
+  return TofinoModel::kPhvBits * 55 / 100;
+}
+
+unsigned max_static_instances(const std::vector<StaticSketchFootprint>& sketches,
+                              unsigned num_stages,
+                              const StageDemand& baseline_per_stage,
+                              unsigned baseline_phv_bits) {
+  dataplane::Pipeline pipe(num_stages, TofinoModel::kPhvBits);
+  for (unsigned s = 0; s < num_stages; ++s) pipe.stage(s).allocate(baseline_per_stage);
+  pipe.allocate_phv(baseline_phv_bits);
+
+  unsigned instances = 0;
+  while (true) {
+    const StaticSketchFootprint& sk = sketches[instances % sketches.size()];
+    if (!pipe.allocate_phv(sk.phv_bits)) break;
+    // Each row needs one stage with room; rows of one sketch must sit in
+    // distinct stages (a register is read once per packet pass).
+    std::vector<unsigned> used_stage;
+    bool ok = true;
+    const StageDemand row = sk.row_demand();
+    for (unsigned r = 0; r < sk.rows && ok; ++r) {
+      bool placed = false;
+      for (unsigned s = 0; s < num_stages && !placed; ++s) {
+        bool clash = false;
+        for (unsigned u : used_stage) {
+          if (u == s) {
+            clash = true;
+            break;
+          }
+        }
+        if (clash) continue;
+        if (pipe.stage(s).allocate(row)) {
+          used_stage.push_back(s);
+          placed = true;
+        }
+      }
+      ok = placed;
+    }
+    if (!ok) {
+      pipe.release_phv(sk.phv_bits);
+      const StageDemand row_d = sk.row_demand();
+      for (unsigned s : used_stage) pipe.stage(s).release(row_d);
+      break;
+    }
+    ++instances;
+  }
+  return instances;
+}
+
+}  // namespace flymon::control

@@ -1,0 +1,47 @@
+// Static (compile-time) sketch deployment model — the conventional
+// alternative FlyMon replaces.  Used by the Fig 2 / Fig 13a experiments:
+// each sketch instance hardwires its own hash units, SALUs, memory and
+// tables for one fixed key.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataplane/mau_stage.hpp"
+#include "dataplane/pipeline.hpp"
+
+namespace flymon::control {
+
+/// Whole-pipeline demand of one statically-deployed sketch instance, plus
+/// the per-row granularity needed for stage packing.
+struct StaticSketchFootprint {
+  std::string name;
+  unsigned rows = 0;               ///< d (each row = 1 SALU + registers)
+  unsigned hash_units_per_row = 2; ///< wide 5-tuple keys span 2 units
+  unsigned sram_blocks_total = 0;
+  unsigned tcam_blocks_total = 0;
+  unsigned vliw_slots_total = 0;
+  unsigned logical_tables_total = 0;
+  unsigned phv_bits = 0;           ///< key copy + metadata
+
+  /// Demand of one row (registers divided evenly across rows).
+  dataplane::StageDemand row_demand() const;
+};
+
+/// Footprints of the four single-key sketches evaluated in paper Fig 2
+/// (Bloom Filter, CMS, HLL, MRAC), sized as in the paper's setting.
+std::vector<StaticSketchFootprint> fig2_sketches();
+
+/// switch.p4 baseline occupancy per MAU stage (calibrated to the baseline
+/// bars of paper Fig 13a) and its PHV usage.
+dataplane::StageDemand switch_p4_baseline_per_stage();
+unsigned switch_p4_baseline_phv_bits();
+
+/// Pack rows of `sketches` (cycled `instances` times) into a pipeline with
+/// the given per-stage baseline; returns how many whole sketch instances fit.
+unsigned max_static_instances(const std::vector<StaticSketchFootprint>& sketches,
+                              unsigned num_stages,
+                              const dataplane::StageDemand& baseline_per_stage,
+                              unsigned baseline_phv_bits);
+
+}  // namespace flymon::control

@@ -1,0 +1,67 @@
+#include "core/address_translation.hpp"
+
+#include "common/bits.hpp"
+
+namespace flymon {
+
+std::uint32_t translate_address(std::uint32_t sliced_key, unsigned slice_width,
+                                const MemoryPartition& part) noexcept {
+  if (part.size == 0) return 0;
+  const unsigned size_log = log2_floor(part.size);
+  std::uint32_t offset;
+  if (slice_width >= size_log) {
+    // Right-shift so that the address falls into [0, size).
+    offset = sliced_key >> (slice_width - size_log);
+  } else {
+    // Slice narrower than the partition: use it directly (upper addresses
+    // of the partition simply stay cold).
+    offset = sliced_key;
+  }
+  return part.base + (offset & (part.size - 1));
+}
+
+TranslationCost translation_cost(TranslationStrategy strategy,
+                                 std::uint32_t total_buckets,
+                                 const MemoryPartition& part) noexcept {
+  TranslationCost c;
+  if (part.size == 0 || total_buckets == 0) return c;
+  const std::uint32_t ratio = total_buckets / part.size;
+  if (strategy == TranslationStrategy::kTcam) {
+    // One range entry per source block, except the block already in place;
+    // plus the task's default entry (paper Fig 9: 3 entries + default for a
+    // quarter-size partition).
+    c.tcam_entries = (ratio > 0 ? ratio - 1 : 0) + 1;
+  } else {
+    // Shift-based: the shift plus base-add either takes a second stage or
+    // pre-computes the per-sub-range offset in PHV during initialization.
+    // Offsets are multiples of the partition size: log2(ratio) bits each,
+    // one per possible sub-range position.
+    c.phv_bits = ratio * (ratio > 1 ? log2_ceil(ratio) : 1);
+    c.extra_stages = 0;  // PHV variant (the 1-extra-stage variant trades
+                         // these bits for one MAU stage)
+  }
+  return c;
+}
+
+TranslationCost translation_cost_for_partitions(TranslationStrategy strategy,
+                                                std::uint32_t total_buckets,
+                                                unsigned partitions) noexcept {
+  TranslationCost total;
+  if (partitions == 0) return total;
+  const std::uint32_t size = total_buckets / partitions;
+  for (unsigned i = 0; i < partitions; ++i) {
+    const MemoryPartition part{i * size, size};
+    const TranslationCost c = translation_cost(strategy, total_buckets, part);
+    total.tcam_entries += c.tcam_entries;
+    total.extra_stages = std::max(total.extra_stages, c.extra_stages);
+    if (strategy == TranslationStrategy::kShift) {
+      // PHV offsets are per-task fields: they accumulate per concurrent task,
+      // but each task only needs the offset of *its* sub-range: log2(ratio)
+      // bits, plus a shared shift-amount encoding.
+      total.phv_bits += partitions > 1 ? log2_ceil(partitions) : 1;
+    }
+  }
+  return total;
+}
+
+}  // namespace flymon

@@ -1,0 +1,42 @@
+// Address translation (paper §3.3, Fig 9): maps a task's full hash-address
+// range onto its allocated power-of-two memory partition.  Two hardware
+// strategies exist — shift-based (extra stage or PHV) and TCAM-based
+// (range-expansion entries); both compute the same function, so the data
+// path here is shared and the strategies differ in resource accounting.
+#pragma once
+
+#include <cstdint>
+
+#include "core/compression.hpp"
+#include "core/memory_partition.hpp"
+
+namespace flymon {
+
+enum class TranslationStrategy : std::uint8_t { kShift, kTcam };
+
+/// Translate a sliced dynamic key (`slice_width` significant bits) into an
+/// address inside `part` (the shift-based view: keep the top log2(size)
+/// bits, then add the base).
+std::uint32_t translate_address(std::uint32_t sliced_key, unsigned slice_width,
+                                const MemoryPartition& part) noexcept;
+
+/// Resource accounting for the two strategies.
+struct TranslationCost {
+  unsigned tcam_entries = 0;  ///< preparation-stage TCAM entries
+  unsigned phv_bits = 0;      ///< extra PHV for pre-computed offsets
+  unsigned extra_stages = 0;  ///< extra MAU stages consumed
+};
+
+/// Cost of supporting one task whose partition is `part` within a CMU of
+/// `total_buckets` buckets.
+TranslationCost translation_cost(TranslationStrategy strategy,
+                                 std::uint32_t total_buckets,
+                                 const MemoryPartition& part) noexcept;
+
+/// Aggregate cost of splitting a CMU into `partitions` equal partitions
+/// with one task each (the paper's Fig 11 experiment).
+TranslationCost translation_cost_for_partitions(TranslationStrategy strategy,
+                                                std::uint32_t total_buckets,
+                                                unsigned partitions) noexcept;
+
+}  // namespace flymon

@@ -1,0 +1,158 @@
+#include "core/cmu.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace flymon {
+
+using dataplane::StatefulOp;
+
+Cmu::Cmu(std::uint32_t register_buckets) : reg_(register_buckets), salu_(reg_) {
+  // The reduced operation set (paper Fig 6 / Appendix A); the fourth SALU
+  // action slot stays reserved for future attributes (paper §6).
+  salu_.preload(StatefulOp::kCondAdd);
+  salu_.preload(StatefulOp::kMax);
+  salu_.preload(StatefulOp::kAndOr);
+}
+
+void Cmu::preload_op(StatefulOp op) { salu_.preload(op); }
+
+void Cmu::install(const CmuTaskEntry& entry) {
+  if (!entry.key_sel.valid()) throw std::invalid_argument("Cmu::install: no key selected");
+  if (entry.partition.size == 0 || entry.partition.end() > reg_.size())
+    throw std::invalid_argument("Cmu::install: partition outside register");
+  for (const CmuTaskEntry& e : entries_) {
+    if (e.task_id == entry.task_id)
+      throw std::invalid_argument("Cmu::install: duplicate task id");
+    // One memory access per packet: intersecting traffic may only coexist
+    // under probabilistic execution (paper §3.3 / §6).
+    if (e.filter.intersects(entry.filter) && e.sample_probability >= 1.0 &&
+        entry.sample_probability >= 1.0) {
+      throw std::invalid_argument(
+          "Cmu::install: task filters intersect on one CMU (use sampling)");
+    }
+  }
+  entries_.push_back(entry);
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const CmuTaskEntry& a, const CmuTaskEntry& b) {
+                     return a.priority < b.priority;
+                   });
+}
+
+bool Cmu::remove(std::uint32_t task_id) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const CmuTaskEntry& e) { return e.task_id == task_id; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+const CmuTaskEntry* Cmu::find(std::uint32_t task_id) const noexcept {
+  for (const CmuTaskEntry& e : entries_) {
+    if (e.task_id == task_id) return &e;
+  }
+  return nullptr;
+}
+
+std::uint32_t Cmu::resolve_param(const ParamSelect& sel, const Packet& pkt,
+                                 const std::vector<std::uint32_t>& unit_keys,
+                                 const PhvContext& ctx) const noexcept {
+  switch (sel.source) {
+    case ParamSelect::Source::kConst:
+      return sel.const_value;
+    case ParamSelect::Source::kMeta:
+      return static_cast<std::uint32_t>(read_meta(pkt, sel.meta));
+    case ParamSelect::Source::kCompressedKey:
+      return sel.slice.apply(CompressionStage::select(unit_keys, sel.key_sel));
+    case ParamSelect::Source::kChain:
+      return ctx.get(sel.const_value);
+  }
+  return 0;
+}
+
+std::uint32_t Cmu::probe_address(const CmuTaskEntry& entry,
+                                 const std::vector<std::uint32_t>& unit_keys) const noexcept {
+  const std::uint32_t key = CompressionStage::select(unit_keys, entry.key_sel);
+  return translate_address(entry.key_slice.apply(key), entry.key_slice.width,
+                           entry.partition);
+}
+
+std::optional<std::uint32_t> Cmu::process(const Packet& pkt,
+                                          const std::vector<std::uint32_t>& unit_keys,
+                                          PhvContext& ctx) {
+  for (const CmuTaskEntry& e : entries_) {
+    if (!e.filter.matches(pkt.ft)) continue;
+    if (e.sample_probability < 1.0) {
+      // Deterministic per-packet coin (hash of headers + timestamp + task).
+      const CandidateKey ck = serialize_candidate_key(pkt);
+      const std::uint64_t h =
+          hash64(std::span<const std::uint8_t>(ck.data(), ck.size()),
+                 0xC01Full + e.task_id);
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      if (u >= e.sample_probability) continue;  // next matching task may run
+    }
+
+    const std::uint32_t addr = probe_address(e, unit_keys);
+    std::uint32_t p1 = resolve_param(e.p1, pkt, unit_keys, ctx);
+    std::uint32_t p2 = resolve_param(e.p2, pkt, unit_keys, ctx);
+    const std::uint32_t p2_raw = p2;
+
+    switch (e.prep) {
+      case PrepFn::kNone:
+        break;
+      case PrepFn::kCouponOneHot: {
+        // CRC hashes are linear over GF(2), so low-entropy attribute values
+        // (sequential IPs, timestamps) can leave the high bits on a small
+        // affine subspace and starve coupon indices.  A single VLIW
+        // half-word fold before the TCAM window match raises the rank of
+        // the projection at zero hardware cost.
+        p1 ^= (p1 >> 16) | (p1 << 16);
+        const double u = static_cast<double>(p1) * 0x1.0p-32;
+        const double total = e.coupon.draw_probability * e.coupon.num_coupons;
+        if (u >= total) return std::nullopt;  // no coupon drawn: no update
+        const auto idx = std::min<unsigned>(
+            static_cast<unsigned>(u / e.coupon.draw_probability),
+            e.coupon.num_coupons - 1);
+        p1 = 1u << idx;
+        p2 = 1;  // select the OR half of AND-OR
+        break;
+      }
+      case PrepFn::kBitSelectOneHot:
+        p1 = 1u << (p1 & 31u);
+        p2 = 1;
+        break;
+      case PrepFn::kSubtractGated: {
+        const std::uint32_t gate = ctx.get(e.chain_gate);
+        p1 = gate != 0 ? (p1 > p2 ? p1 - p2 : 0u) : 0u;
+        p2 = 0;
+        break;
+      }
+      case PrepFn::kKeepOnChainZero:
+        if (ctx.get(e.chain_gate) != 0) p1 = 0;
+        break;
+      case PrepFn::kBitSelectOneHotGated:
+        p1 = ctx.get(e.chain_gate) == 0 ? (1u << (p1 & 31u)) : 0u;
+        break;
+    }
+
+    const std::uint32_t old = reg_.read(addr);
+    const std::uint32_t result = salu_.execute(e.op, addr, p1, p2);
+    std::uint32_t out = result;
+    if (e.output_old_value) {
+      // SALUs can export the pre-update value; for one-hot updates we export
+      // the single probed bit (0/1).
+      out = (e.prep == PrepFn::kBitSelectOneHot || e.prep == PrepFn::kCouponOneHot)
+                ? ((old & p1) != 0 ? 1u : 0u)
+                : old;
+    }
+    if (e.chain_out != 0) {
+      ctx.chain[e.chain_out] = (e.chain_fallback && result == 0) ? p2_raw : out;
+    }
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace flymon

@@ -1,0 +1,166 @@
+// The Composable Measurement Unit (paper §3.1): a runtime-reconfigurable
+// operation unit whose per-packet pipeline is
+//   initialization  — match the task filter, select dynamic key & params
+//   preparation     — address translation + parameter pre-processing
+//   operation       — one stateful op on the bound register
+// The compression stage is shared at the CMU-Group level (compression.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/address_translation.hpp"
+#include "core/compression.hpp"
+#include "core/memory_partition.hpp"
+#include "core/task.hpp"
+#include "dataplane/salu.hpp"
+#include "packet/exact.hpp"
+#include "packet/packet.hpp"
+
+namespace flymon {
+
+/// Where a CMU parameter (p1/p2) comes from at packet time.
+struct ParamSelect {
+  enum class Source : std::uint8_t { kConst, kMeta, kCompressedKey, kChain };
+
+  Source source = Source::kConst;
+  std::uint32_t const_value = 0;   ///< kConst value / kChain channel id
+  MetaField meta = MetaField::kOne;
+  CompressedKeySelector key_sel{};
+  KeySlice slice{0, 32};
+
+  static ParamSelect constant(std::uint32_t v) {
+    ParamSelect p;
+    p.source = Source::kConst;
+    p.const_value = v;
+    return p;
+  }
+  static ParamSelect metadata(MetaField f) {
+    ParamSelect p;
+    p.source = Source::kMeta;
+    p.meta = f;
+    return p;
+  }
+  static ParamSelect compressed(CompressedKeySelector sel, KeySlice slice = {0, 32}) {
+    ParamSelect p;
+    p.source = Source::kCompressedKey;
+    p.key_sel = sel;
+    p.slice = slice;
+    return p;
+  }
+  static ParamSelect chain(std::uint32_t channel) {
+    ParamSelect p;
+    p.source = Source::kChain;
+    p.const_value = channel;
+    return p;
+  }
+};
+
+/// Preparation-stage parameter processing (TCAM-backed in hardware).
+enum class PrepFn : std::uint8_t {
+  kNone = 0,
+  /// BeauCoup: treat p1 as a uniform hash; draw a coupon with total
+  /// probability c*p and rewrite p1 to its one-hot encoding, or abort the
+  /// update when no coupon is drawn.  p2 is forced to 1 (selects OR).
+  kCouponOneHot,
+  /// Bit-packed Bloom filter: p1 -> 1 << (p1 mod 32); p2 forced to 1.
+  kBitSelectOneHot,
+  /// Max inter-arrival: p1 = gate ? saturating(p1 - chain_in) : 0, where
+  /// `gate` is the chain channel in `chain_gate` (0 means "new flow").
+  kSubtractGated,
+  /// Counter Braids layer 2: keep p1 only when the chained upstream result
+  /// is zero (upstream Cond-ADD returned 0 = its counter saturated).
+  kKeepOnChainZero,
+  /// Odd Sketch toggle: one-hot of p1 gated on chain_gate == 0 (the
+  /// upstream Bloom filter reporting a first-seen flow); otherwise p1 = 0
+  /// so the XOR leaves the register untouched.
+  kBitSelectOneHotGated,
+};
+
+/// Coupon parameters for PrepFn::kCouponOneHot.
+struct CouponPrep {
+  unsigned num_coupons = 32;
+  double draw_probability = 0.0;  ///< per-coupon probability
+};
+
+/// One installed measurement task on one CMU: the runtime rules of the
+/// initialization, preparation and operation stages for this task.
+struct CmuTaskEntry {
+  std::uint32_t task_id = 0;
+  TaskFilter filter{};
+  std::uint32_t priority = 100;          ///< lower wins among matches
+  double sample_probability = 1.0;       ///< probabilistic execution (§5.3)
+
+  CompressedKeySelector key_sel{};
+  KeySlice key_slice{0, 16};
+  MemoryPartition partition{};
+
+  ParamSelect p1 = ParamSelect::constant(1);
+  ParamSelect p2 = ParamSelect::constant(0xFFFF'FFFFu);
+  PrepFn prep = PrepFn::kNone;
+  CouponPrep coupon{};
+  std::uint32_t chain_gate = 0;          ///< secondary chain channel (prep)
+
+  dataplane::StatefulOp op = dataplane::StatefulOp::kNop;
+  bool output_old_value = false;         ///< SALU result = pre-update value
+  std::uint32_t chain_out = 0;           ///< publish result on this channel
+  bool chain_fallback = false;           ///< publish chain-in when result==0
+};
+
+/// Per-packet metadata carried between CMUs (PHV fields in hardware).
+struct PhvContext {
+  std::unordered_map<std::uint32_t, std::uint32_t> chain;
+
+  std::uint32_t get(std::uint32_t channel) const noexcept {
+    const auto it = chain.find(channel);
+    return it == chain.end() ? 0u : it->second;
+  }
+};
+
+class Cmu {
+ public:
+  /// A CMU owns one register (uniform 32-bit buckets) and its SALU with the
+  /// reduced operation set pre-loaded.
+  explicit Cmu(std::uint32_t register_buckets);
+
+  /// Load an extra operation into the SALU's reserved fourth action slot
+  /// (e.g. XOR for Odd Sketch, paper §6).  Throws when slots are exhausted.
+  void preload_op(dataplane::StatefulOp op);
+
+  /// Install / remove task rules.  Installation rejects tasks whose filter
+  /// intersects an already-installed task (a SALU performs only one access
+  /// per packet, paper §3.3).
+  void install(const CmuTaskEntry& entry);
+  bool remove(std::uint32_t task_id);
+  const CmuTaskEntry* find(std::uint32_t task_id) const noexcept;
+  const std::vector<CmuTaskEntry>& entries() const noexcept { return entries_; }
+
+  /// Process one packet given the group's compressed keys.  Returns the
+  /// SALU result if some task matched and executed.
+  std::optional<std::uint32_t> process(const Packet& pkt,
+                                       const std::vector<std::uint32_t>& unit_keys,
+                                       PhvContext& ctx);
+
+  /// Memory address a probe flow maps to under `entry` (control-plane
+  /// readout uses the same hash configuration as the data plane).
+  std::uint32_t probe_address(const CmuTaskEntry& entry,
+                              const std::vector<std::uint32_t>& unit_keys) const noexcept;
+
+  dataplane::RegisterArray& reg() noexcept { return reg_; }
+  const dataplane::RegisterArray& reg() const noexcept { return reg_; }
+
+  /// Evaluate a parameter selection for a probe packet (control-plane
+  /// readout re-derives data-plane inputs, e.g. Bloom-filter bit indices).
+  std::uint32_t resolve_param(const ParamSelect& sel, const Packet& pkt,
+                              const std::vector<std::uint32_t>& unit_keys,
+                              const PhvContext& ctx) const noexcept;
+
+ private:
+  dataplane::RegisterArray reg_;
+  dataplane::Salu salu_;
+  std::vector<CmuTaskEntry> entries_;
+};
+
+}  // namespace flymon

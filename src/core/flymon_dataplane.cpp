@@ -1,0 +1,22 @@
+#include "core/flymon_dataplane.hpp"
+
+namespace flymon {
+
+FlyMonDataPlane::FlyMonDataPlane(unsigned num_groups, const CmuGroupConfig& cfg) {
+  groups_.reserve(num_groups);
+  for (unsigned g = 0; g < num_groups; ++g) groups_.emplace_back(g, cfg);
+}
+
+void FlyMonDataPlane::process(const Packet& pkt) {
+  PhvContext ctx;
+  for (CmuGroup& g : groups_) g.process(pkt, ctx);
+  ++packets_;
+}
+
+void FlyMonDataPlane::clear_registers() {
+  for (CmuGroup& g : groups_) {
+    for (unsigned i = 0; i < g.num_cmus(); ++i) g.cmu(i).reg().clear();
+  }
+}
+
+}  // namespace flymon

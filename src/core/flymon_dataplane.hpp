@@ -1,0 +1,41 @@
+// The FlyMon data plane: a set of cross-stacked CMU Groups processed in
+// pipeline order, sharing one PHV context per packet so CMUs in later
+// groups can consume results of earlier ones (SuMax chaining, max
+// inter-arrival, Counter Braids carries).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cmu_group.hpp"
+
+namespace flymon {
+
+class FlyMonDataPlane {
+ public:
+  explicit FlyMonDataPlane(unsigned num_groups = 9, const CmuGroupConfig& cfg = {});
+
+  unsigned num_groups() const noexcept { return static_cast<unsigned>(groups_.size()); }
+  CmuGroup& group(unsigned i) { return groups_.at(i); }
+  const CmuGroup& group(unsigned i) const { return groups_.at(i); }
+
+  /// Process one packet through every group in pipeline order.
+  void process(const Packet& pkt);
+
+  /// Process a whole trace.
+  template <typename Range>
+  void process_all(const Range& trace) {
+    for (const Packet& p : trace) process(p);
+  }
+
+  std::uint64_t packets_processed() const noexcept { return packets_; }
+
+  /// Clear all registers (start of a measurement epoch).
+  void clear_registers();
+
+ private:
+  std::vector<CmuGroup> groups_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace flymon

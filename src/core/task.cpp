@@ -1,0 +1,65 @@
+#include "core/task.hpp"
+
+namespace flymon {
+namespace {
+
+constexpr std::uint32_t prefix_mask(std::uint8_t len) noexcept {
+  return len == 0 ? 0u : (len >= 32 ? 0xFFFF'FFFFu : ~((1u << (32 - len)) - 1u));
+}
+
+/// Do two prefixes overlap?  True iff one contains the other.
+constexpr bool prefixes_intersect(std::uint32_t a, std::uint8_t alen, std::uint32_t b,
+                                  std::uint8_t blen) noexcept {
+  const std::uint8_t len = alen < blen ? alen : blen;
+  const std::uint32_t m = prefix_mask(len);
+  return (a & m) == (b & m);
+}
+
+}  // namespace
+
+const char* to_string(AttributeKind a) noexcept {
+  switch (a) {
+    case AttributeKind::kFrequency: return "Frequency";
+    case AttributeKind::kDistinct: return "Distinct";
+    case AttributeKind::kExistence: return "Existence";
+    case AttributeKind::kMax: return "Max";
+    case AttributeKind::kSimilarity: return "Similarity";
+  }
+  return "?";
+}
+
+const char* to_string(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kAuto: return "Auto";
+    case Algorithm::kCms: return "CMS";
+    case Algorithm::kSuMaxSum: return "SuMax(Sum)";
+    case Algorithm::kMrac: return "MRAC";
+    case Algorithm::kTowerSketch: return "TowerSketch";
+    case Algorithm::kCounterBraids: return "CounterBraids";
+    case Algorithm::kBeauCoup: return "BeauCoup";
+    case Algorithm::kHyperLogLog: return "HyperLogLog";
+    case Algorithm::kLinearCounting: return "LinearCounting";
+    case Algorithm::kBloomFilter: return "BloomFilter";
+    case Algorithm::kSuMaxMax: return "SuMax(Max)";
+    case Algorithm::kMaxInterarrival: return "MaxInterarrival";
+    case Algorithm::kOddSketch: return "OddSketch";
+  }
+  return "?";
+}
+
+bool TaskFilter::matches(const FiveTuple& ft) const noexcept {
+  if (src_len != 0 && ((ft.src_ip ^ src_ip) & prefix_mask(src_len)) != 0) return false;
+  if (dst_len != 0 && ((ft.dst_ip ^ dst_ip) & prefix_mask(dst_len)) != 0) return false;
+  return true;
+}
+
+bool TaskFilter::intersects(const TaskFilter& other) const noexcept {
+  // Filters intersect unless some dimension separates them.
+  const bool src_disjoint = src_len != 0 && other.src_len != 0 &&
+                            !prefixes_intersect(src_ip, src_len, other.src_ip, other.src_len);
+  const bool dst_disjoint = dst_len != 0 && other.dst_len != 0 &&
+                            !prefixes_intersect(dst_ip, dst_len, other.dst_ip, other.dst_len);
+  return !(src_disjoint || dst_disjoint);
+}
+
+}  // namespace flymon

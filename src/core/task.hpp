@@ -1,0 +1,116 @@
+// Measurement-task abstraction (paper §2.1, Table 1): a task is a traffic
+// filter, a flow key, an attribute with parameters, and a memory size.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "packet/exact.hpp"
+#include "packet/flowkey.hpp"
+#include "packet/packet.hpp"
+
+namespace flymon {
+
+/// Which flow statistic a task measures (paper §2.1).
+enum class AttributeKind : std::uint8_t {
+  kFrequency,   ///< accumulate a parameter per key (per-flow size, HH, ...)
+  kDistinct,    ///< count distinct parameter values per key (DDoS, cardinality)
+  kExistence,   ///< set membership of the parameter (blacklist)
+  kMax,         ///< maximum parameter per key (congestion, HOL, interval)
+  kSimilarity,  ///< parity of distinct parameters — Odd Sketch extension (§6)
+};
+
+const char* to_string(AttributeKind a) noexcept;
+
+/// Built-in algorithms selectable per attribute (paper Fig 6 / Table 3).
+enum class Algorithm : std::uint8_t {
+  kAuto = 0,        ///< compiler picks the default for the attribute
+  kCms,             ///< Frequency
+  kSuMaxSum,        ///< Frequency, conservative update (3 CMU Groups)
+  kMrac,            ///< Frequency (distribution / entropy analysis)
+  kTowerSketch,     ///< Frequency, layered counter widths
+  kCounterBraids,   ///< Frequency, two-layer overflow counters
+  kBeauCoup,        ///< Distinct (multi-key)
+  kHyperLogLog,     ///< Distinct (single-key)
+  kLinearCounting,  ///< Distinct (bitmap-based)
+  kBloomFilter,     ///< Existence
+  kSuMaxMax,        ///< Max
+  kMaxInterarrival, ///< Max of packet inter-arrival (composite, 3 CMUs)
+  kOddSketch,       ///< Similarity (XOR reserved-slot extension, 2 CMUs)
+};
+
+const char* to_string(Algorithm a) noexcept;
+
+/// Traffic filter: source/destination IPv4 prefixes (both optional).
+/// Tasks co-located on one CMU must have non-intersecting filters
+/// (paper §3.3, "Limitation of Address Translation").
+struct TaskFilter {
+  std::uint32_t src_ip = 0;
+  std::uint8_t src_len = 0;  ///< 0 = wildcard
+  std::uint32_t dst_ip = 0;
+  std::uint8_t dst_len = 0;
+
+  static TaskFilter any() { return {}; }
+  static TaskFilter src(std::uint32_t ip, std::uint8_t len) { return {ip, len, 0, 0}; }
+  static TaskFilter dst(std::uint32_t ip, std::uint8_t len) { return {0, 0, ip, len}; }
+
+  bool matches(const FiveTuple& ft) const noexcept;
+  /// True when some packet could match both filters.
+  bool intersects(const TaskFilter& other) const noexcept;
+  bool is_wildcard() const noexcept { return src_len == 0 && dst_len == 0; }
+
+  friend bool operator==(const TaskFilter&, const TaskFilter&) = default;
+};
+
+/// Source of an attribute parameter (p1/p2) in the initialization stage.
+enum class ParamSource : std::uint8_t {
+  kConst,          ///< immediate value
+  kMeta,           ///< standard metadata (bytes, timestamp, queue, ...)
+  kCompressedKey,  ///< a compressed key produced by the compression stage
+};
+
+/// Parameter specification at the *task* level; the compiler lowers it to a
+/// concrete CMU parameter selection.
+struct ParamSpec {
+  ParamSource source = ParamSource::kConst;
+  std::uint32_t const_value = 1;
+  MetaField meta = MetaField::kOne;
+  FlowKeySpec key_spec{};  ///< for kCompressedKey: which fields to compress
+
+  static ParamSpec constant(std::uint32_t v) {
+    ParamSpec p;
+    p.source = ParamSource::kConst;
+    p.const_value = v;
+    return p;
+  }
+  static ParamSpec metadata(MetaField f) {
+    ParamSpec p;
+    p.source = ParamSource::kMeta;
+    p.meta = f;
+    return p;
+  }
+  static ParamSpec compressed(FlowKeySpec spec) {
+    ParamSpec p;
+    p.source = ParamSource::kCompressedKey;
+    p.key_spec = spec;
+    return p;
+  }
+};
+
+/// A complete measurement-task definition as submitted by the operator.
+struct TaskSpec {
+  std::string name;
+  TaskFilter filter{};
+  FlowKeySpec key{};
+  AttributeKind attribute = AttributeKind::kFrequency;
+  ParamSpec param = ParamSpec::constant(1);
+  Algorithm algorithm = Algorithm::kAuto;
+  std::uint32_t memory_buckets = 16384;  ///< per-row bucket budget
+  unsigned rows = 3;                     ///< d (independent CMU instances)
+  std::uint64_t report_threshold = 0;    ///< for HH/DDoS style reporting
+  double sample_probability = 1.0;       ///< probabilistic execution (§5.3)
+  bool bloom_bit_packed = true;          ///< Existence: use all bucket bits (§4)
+};
+
+}  // namespace flymon

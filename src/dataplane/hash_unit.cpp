@@ -1,0 +1,19 @@
+#include "dataplane/hash_unit.hpp"
+
+#include "common/hash.hpp"
+
+namespace flymon::dataplane {
+
+HashUnit::HashUnit(unsigned unit_index) noexcept
+    : unit_index_(unit_index),
+      poly_(crc_polynomial(unit_index)),
+      // Perturb init per unit so more than 8 units remain distinct.
+      init_(0xFFFFFFFFu ^ static_cast<std::uint32_t>(mix64(unit_index) >> 32)) {}
+
+std::uint32_t HashUnit::compute(const CandidateKey& key) const noexcept {
+  CandidateKey masked{};
+  for (std::size_t i = 0; i < key.size(); ++i) masked[i] = key[i] & mask_[i];
+  return crc32(std::span<const std::uint8_t>(masked.data(), masked.size()), poly_, init_);
+}
+
+}  // namespace flymon::dataplane

@@ -1,0 +1,42 @@
+// Hash distribution unit with runtime-reconfigurable input masking
+// ("dynamic hashing", Tofino SDE >= 9.7 tna_dyn_hashing).
+#pragma once
+
+#include <cstdint>
+
+#include "packet/packet.hpp"
+
+namespace flymon::dataplane {
+
+/// One physical hash unit.  Its polynomial/init are fixed at compile time
+/// (by physical identity); the input mask over the candidate key set is a
+/// runtime rule installed from the control plane.
+class HashUnit {
+ public:
+  /// `unit_index` selects the CRC polynomial; units with distinct indices
+  /// produce (approximately) independent hashes of the same input.
+  explicit HashUnit(unsigned unit_index = 0) noexcept;
+
+  /// Install a dynamic-hashing mask: only bits set in `mask` participate.
+  /// Counts as one hash-mask runtime rule for the deployment-delay model.
+  void set_mask(const CandidateKey& mask) noexcept { mask_ = mask; configured_ = true; }
+
+  /// Clear the mask (unit produces hash of nothing -> constant).
+  void clear_mask() noexcept { mask_ = CandidateKey{}; configured_ = false; }
+
+  bool configured() const noexcept { return configured_; }
+  const CandidateKey& mask() const noexcept { return mask_; }
+  unsigned unit_index() const noexcept { return unit_index_; }
+
+  /// 32-bit hash of the masked candidate key.
+  std::uint32_t compute(const CandidateKey& key) const noexcept;
+
+ private:
+  unsigned unit_index_ = 0;
+  std::uint32_t poly_ = 0;
+  std::uint32_t init_ = 0;
+  CandidateKey mask_{};
+  bool configured_ = false;
+};
+
+}  // namespace flymon::dataplane

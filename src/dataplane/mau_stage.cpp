@@ -1,0 +1,52 @@
+#include "dataplane/mau_stage.hpp"
+
+namespace flymon::dataplane {
+
+const char* to_string(Resource r) noexcept {
+  switch (r) {
+    case Resource::kHashUnit: return "Hash Unit";
+    case Resource::kSalu: return "SALU";
+    case Resource::kSramBlock: return "SRAM";
+    case Resource::kTcamBlock: return "TCAM";
+    case Resource::kVliwSlot: return "VLIW";
+    case Resource::kLogicalTable: return "Logical Table";
+  }
+  return "?";
+}
+
+StageDemand stage_capacity() noexcept {
+  StageDemand c;
+  c[Resource::kHashUnit] = TofinoModel::kHashDistUnitsPerStage;
+  c[Resource::kSalu] = TofinoModel::kSalusPerStage;
+  c[Resource::kSramBlock] = TofinoModel::kSramBlocksPerStage;
+  c[Resource::kTcamBlock] = TofinoModel::kTcamBlocksPerStage;
+  c[Resource::kVliwSlot] = TofinoModel::kVliwSlotsPerStage;
+  c[Resource::kLogicalTable] = TofinoModel::kLogicalTablesPerStage;
+  return c;
+}
+
+bool MauStage::fits(const StageDemand& d) const noexcept {
+  for (unsigned i = 0; i < kNumResourceKinds; ++i) {
+    if (used_.amount[i] + d.amount[i] > capacity_.amount[i]) return false;
+  }
+  return true;
+}
+
+bool MauStage::allocate(const StageDemand& d) noexcept {
+  if (!fits(d)) return false;
+  for (unsigned i = 0; i < kNumResourceKinds; ++i) used_.amount[i] += d.amount[i];
+  return true;
+}
+
+void MauStage::release(const StageDemand& d) noexcept {
+  for (unsigned i = 0; i < kNumResourceKinds; ++i) {
+    used_.amount[i] = used_.amount[i] >= d.amount[i] ? used_.amount[i] - d.amount[i] : 0;
+  }
+}
+
+double MauStage::utilization(Resource r) const noexcept {
+  const std::uint32_t cap = capacity_[r];
+  return cap == 0 ? 0.0 : static_cast<double>(used_[r]) / cap;
+}
+
+}  // namespace flymon::dataplane

@@ -1,0 +1,73 @@
+// Per-MAU-stage resource ledger.
+//
+// Hardware objects (hash units, SALUs, SRAM/TCAM blocks, VLIW slots,
+// logical table IDs) are allocated here when features are compiled in, so
+// utilisation figures (paper Figs 2, 8, 13) are computed, not asserted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "dataplane/tofino_model.hpp"
+
+namespace flymon::dataplane {
+
+enum class Resource : std::uint8_t {
+  kHashUnit = 0,
+  kSalu,
+  kSramBlock,
+  kTcamBlock,
+  kVliwSlot,
+  kLogicalTable,
+};
+inline constexpr unsigned kNumResourceKinds = 6;
+
+const char* to_string(Resource r) noexcept;
+
+/// A bundle of per-stage resource demands (in native units of each kind).
+struct StageDemand {
+  std::array<std::uint32_t, kNumResourceKinds> amount{};
+
+  std::uint32_t& operator[](Resource r) noexcept { return amount[static_cast<unsigned>(r)]; }
+  std::uint32_t operator[](Resource r) const noexcept { return amount[static_cast<unsigned>(r)]; }
+
+  StageDemand& add(Resource r, std::uint32_t n) noexcept {
+    amount[static_cast<unsigned>(r)] += n;
+    return *this;
+  }
+  friend StageDemand operator+(StageDemand a, const StageDemand& b) noexcept {
+    for (unsigned i = 0; i < kNumResourceKinds; ++i) a.amount[i] += b.amount[i];
+    return a;
+  }
+};
+
+/// Capacity of one MAU stage in native units.
+StageDemand stage_capacity() noexcept;
+
+/// Ledger for one MAU stage.
+class MauStage {
+ public:
+  MauStage() noexcept : capacity_(stage_capacity()) {}
+
+  /// True iff `d` fits in the remaining budget.
+  bool fits(const StageDemand& d) const noexcept;
+
+  /// Allocate; returns false (and allocates nothing) when it does not fit.
+  bool allocate(const StageDemand& d) noexcept;
+
+  /// Release a previously-allocated demand (no-fail; clamps at zero).
+  void release(const StageDemand& d) noexcept;
+
+  std::uint32_t used(Resource r) const noexcept { return used_[r]; }
+  std::uint32_t capacity(Resource r) const noexcept { return capacity_[r]; }
+
+  /// used/capacity in [0,1].
+  double utilization(Resource r) const noexcept;
+
+ private:
+  StageDemand capacity_{};
+  StageDemand used_{};
+};
+
+}  // namespace flymon::dataplane

@@ -1,0 +1,35 @@
+#include "dataplane/pipeline.hpp"
+
+namespace flymon::dataplane {
+
+Pipeline::Pipeline(unsigned num_stages, unsigned phv_bits)
+    : stages_(num_stages), phv_bits_(phv_bits) {}
+
+bool Pipeline::allocate_phv(unsigned bits) noexcept {
+  if (phv_used_ + bits > phv_bits_) return false;
+  phv_used_ += bits;
+  return true;
+}
+
+void Pipeline::release_phv(unsigned bits) noexcept {
+  phv_used_ = phv_used_ >= bits ? phv_used_ - bits : 0;
+}
+
+double Pipeline::utilization(Resource r) const noexcept {
+  const std::uint64_t cap = total_capacity(r);
+  return cap == 0 ? 0.0 : static_cast<double>(total_used(r)) / static_cast<double>(cap);
+}
+
+std::uint64_t Pipeline::total_used(Resource r) const noexcept {
+  std::uint64_t s = 0;
+  for (const auto& st : stages_) s += st.used(r);
+  return s;
+}
+
+std::uint64_t Pipeline::total_capacity(Resource r) const noexcept {
+  std::uint64_t s = 0;
+  for (const auto& st : stages_) s += st.capacity(r);
+  return s;
+}
+
+}  // namespace flymon::dataplane

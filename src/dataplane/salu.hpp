@@ -1,0 +1,90 @@
+// Stateful ALU + bound register array (a Tofino "register").
+//
+// An RMT register performs at most one memory access per packet, executing
+// one of a small number of pre-loaded register actions (at most 4 on
+// Tofino).  FlyMon's reduced operation set (paper Appendix A) consists of
+// Cond-ADD, MAX and AND-OR; one slot stays reserved for future attributes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "dataplane/tofino_model.hpp"
+
+namespace flymon::dataplane {
+
+/// The reduced stateful operation set.  kXor occupies the reserved fourth
+/// action slot when an Odd-Sketch style task is deployed (paper §6,
+/// "Expressiveness of FlyMon").
+enum class StatefulOp : std::uint8_t {
+  kNop = 0,      ///< read-only access (returns the bucket)
+  kCondAdd,      ///< if (reg < p2) reg += p1, return reg; else return 0
+  kMax,          ///< if (reg < p1) reg  = p1, return reg; else return 0
+  kAndOr,        ///< if (p2 == 0) reg &= p1 else reg |= p1; return reg
+  kXor,          ///< reg ^= p1; return reg (Odd Sketch toggle)
+};
+
+const char* to_string(StatefulOp op) noexcept;
+
+/// Fixed-size stateful memory with uniform bucket width.  Size and width
+/// cannot change at runtime (the constraint that motivates FlyMon's address
+/// translation); only the contents can be read/cleared by the control plane.
+class RegisterArray {
+ public:
+  RegisterArray(std::uint32_t num_buckets, unsigned bit_width = TofinoModel::kRegisterBitWidth);
+
+  std::uint32_t size() const noexcept { return static_cast<std::uint32_t>(cells_.size()); }
+  unsigned bit_width() const noexcept { return bit_width_; }
+  std::uint32_t value_mask() const noexcept { return value_mask_; }
+
+  std::uint32_t read(std::uint32_t addr) const { return cells_.at(addr); }
+  void write(std::uint32_t addr, std::uint32_t v) { cells_.at(addr) = v & value_mask_; }
+
+  /// Control-plane bulk read of [begin, end).
+  std::vector<std::uint32_t> read_range(std::uint32_t begin, std::uint32_t end) const;
+
+  /// Control-plane reset of [begin, end) to zero.
+  void clear_range(std::uint32_t begin, std::uint32_t end);
+  void clear() { clear_range(0, size()); }
+
+  /// SRAM blocks this register occupies in the resource model.
+  unsigned sram_blocks() const noexcept {
+    return TofinoModel::sram_blocks_for(size(), bit_width_);
+  }
+
+ private:
+  std::vector<std::uint32_t> cells_;
+  unsigned bit_width_;
+  std::uint32_t value_mask_;
+};
+
+/// A stateful ALU bound to one register array.  Holds up to
+/// TofinoModel::kMaxRegisterActions pre-loaded operations; the per-packet
+/// "Select Operation" table picks which one runs.
+class Salu {
+ public:
+  explicit Salu(RegisterArray& reg) noexcept : reg_(&reg) {}
+
+  /// Pre-load an operation (compile-time configuration).  Throws if the
+  /// action-slot budget is exhausted.
+  void preload(StatefulOp op);
+
+  bool has_op(StatefulOp op) const noexcept;
+  unsigned loaded_ops() const noexcept { return static_cast<unsigned>(ops_.size()); }
+
+  /// Execute one pre-loaded op at `addr` with params p1/p2.  Exactly one
+  /// memory access.  Returns the op's result (Appendix A semantics);
+  /// arithmetic saturates at the register's bit width.
+  std::uint32_t execute(StatefulOp op, std::uint32_t addr, std::uint32_t p1,
+                        std::uint32_t p2);
+
+  RegisterArray& reg() noexcept { return *reg_; }
+  const RegisterArray& reg() const noexcept { return *reg_; }
+
+ private:
+  RegisterArray* reg_;
+  std::vector<StatefulOp> ops_;
+};
+
+}  // namespace flymon::dataplane

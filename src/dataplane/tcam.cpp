@@ -1,0 +1,38 @@
+#include "dataplane/tcam.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace flymon::dataplane {
+
+std::vector<TernaryPattern> range_to_ternary(std::uint64_t lo, std::uint64_t hi,
+                                             unsigned width) {
+  if (width == 0 || width > 64) throw std::invalid_argument("range_to_ternary: width");
+  const std::uint64_t key_mask =
+      width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  if (lo > hi || hi > key_mask) throw std::invalid_argument("range_to_ternary: range");
+
+  // Greedy aligned-block cover: at each step emit the largest power-of-two
+  // block that is aligned at `cur` and does not overshoot `hi`.
+  std::vector<TernaryPattern> out;
+  std::uint64_t cur = lo;
+  while (true) {
+    const unsigned align =
+        cur == 0 ? width
+                 : std::min<unsigned>(width, static_cast<unsigned>(std::countr_zero(cur)));
+    const std::uint64_t remaining = hi - cur;  // block may cover at most this + 1
+    const unsigned cap =
+        remaining == ~std::uint64_t{0} ? 64u : log2_floor(remaining + 1);
+    const unsigned k = std::min(align, cap);
+    const std::uint64_t span_minus1 =
+        k >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << k) - 1);
+    out.push_back(TernaryPattern{cur & key_mask, key_mask & ~span_minus1});
+    if (remaining <= span_minus1) break;
+    cur += span_minus1 + 1;
+  }
+  return out;
+}
+
+}  // namespace flymon::dataplane

@@ -1,0 +1,94 @@
+// Ternary content-addressable memory (TCAM) table model.
+//
+// Entries match a 64-bit key against (value, mask) with priority; the
+// highest-priority (lowest number, then earliest installed) match wins.
+// Range matches are realised by prefix expansion, exactly as hardware does,
+// so entry counts reflect the true TCAM cost of range rules (paper §3.3).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "dataplane/tofino_model.hpp"
+
+namespace flymon::dataplane {
+
+/// A single ternary (value, mask) pattern: key matches iff
+/// (key & mask) == (value & mask).
+struct TernaryPattern {
+  std::uint64_t value = 0;
+  std::uint64_t mask = 0;
+
+  bool matches(std::uint64_t key) const noexcept { return (key & mask) == (value & mask); }
+  friend bool operator==(const TernaryPattern&, const TernaryPattern&) = default;
+};
+
+/// Expand the integer range [lo, hi] (inclusive) over a `width`-bit key into
+/// a minimal set of ternary prefix patterns (the classic aligned-block
+/// decomposition used for TCAM range expansion).
+std::vector<TernaryPattern> range_to_ternary(std::uint64_t lo, std::uint64_t hi,
+                                             unsigned width);
+
+/// TCAM blocks needed for `entries` entries with a `key_bits`-wide key.
+constexpr unsigned tcam_blocks_for(std::size_t entries, unsigned key_bits) {
+  const unsigned depth_blocks = static_cast<unsigned>(
+      (entries + TofinoModel::kTcamBlockEntries - 1) / TofinoModel::kTcamBlockEntries);
+  const unsigned width_blocks =
+      (key_bits + TofinoModel::kTcamBlockKeyBits - 1) / TofinoModel::kTcamBlockKeyBits;
+  return depth_blocks * width_blocks;
+}
+
+/// Priority-ordered ternary match table with per-entry payload.
+template <typename Payload>
+class TcamTable {
+ public:
+  struct Entry {
+    TernaryPattern pattern;
+    std::uint32_t priority = 0;  ///< lower value = higher priority
+    Payload action{};
+  };
+
+  /// Install one entry (a runtime table rule).
+  void install(TernaryPattern pattern, std::uint32_t priority, Payload action) {
+    entries_.push_back(Entry{pattern, priority, std::move(action)});
+  }
+
+  /// Install a range rule; returns how many ternary entries it expanded to.
+  std::size_t install_range(std::uint64_t lo, std::uint64_t hi, unsigned width,
+                            std::uint32_t priority, const Payload& action) {
+    const auto patterns = range_to_ternary(lo, hi, width);
+    for (const auto& p : patterns) install(p, priority, action);
+    return patterns.size();
+  }
+
+  /// Remove every entry whose payload satisfies `pred`; returns count removed.
+  template <typename Pred>
+  std::size_t remove_if(Pred pred) {
+    const auto it = std::remove_if(entries_.begin(), entries_.end(),
+                                   [&](const Entry& e) { return pred(e.action); });
+    const std::size_t n = static_cast<std::size_t>(entries_.end() - it);
+    entries_.erase(it, entries_.end());
+    return n;
+  }
+
+  void clear() noexcept { entries_.clear(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Highest-priority match, or nullptr (caller applies the default action).
+  const Payload* lookup(std::uint64_t key) const noexcept {
+    const Entry* best = nullptr;
+    for (const Entry& e : entries_) {
+      if (!e.pattern.matches(key)) continue;
+      if (best == nullptr || e.priority < best->priority) best = &e;
+    }
+    return best ? &best->action : nullptr;
+  }
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace flymon::dataplane

@@ -1,0 +1,71 @@
+// Resource model of a Tofino-class RMT pipeline.
+//
+// The absolute block counts below are taken from public descriptions of
+// Tofino 1 (12 MAU stages per pipe; per stage: 80 SRAM blocks of
+// 1024x128 b, 24 TCAM blocks of 512x44 b, 4 stateful ALUs, 6 hash
+// distribution units, 32-slot VLIW action engine, 16 logical table IDs) and
+// calibrated so that the per-stage occupancy of a CMU Group reproduces the
+// percentages in the paper's Figure 8 table (compression: 50% hash;
+// initialization: 25% VLIW, 12.5% TCAM; preparation: 50% TCAM; operation:
+// 50% hash, 75% SALU, 25% VLIW).
+#pragma once
+
+#include <cstdint>
+
+namespace flymon::dataplane {
+
+struct TofinoModel {
+  // Pipeline geometry.
+  static constexpr unsigned kNumStages = 12;
+
+  // Per-MAU-stage resources.
+  static constexpr unsigned kHashDistUnitsPerStage = 6;
+  static constexpr unsigned kSalusPerStage = 4;
+  static constexpr unsigned kVliwSlotsPerStage = 32;
+  static constexpr unsigned kLogicalTablesPerStage = 16;
+
+  static constexpr unsigned kSramBlocksPerStage = 80;
+  static constexpr unsigned kSramBlockEntries = 1024;
+  static constexpr unsigned kSramBlockBitWidth = 128;
+  static constexpr std::uint64_t kSramBlockBits =
+      std::uint64_t{kSramBlockEntries} * kSramBlockBitWidth;
+
+  static constexpr unsigned kTcamBlocksPerStage = 24;
+  static constexpr unsigned kTcamBlockEntries = 512;
+  static constexpr unsigned kTcamBlockKeyBits = 44;
+
+  // PHV: shared across the pipe (Tofino 1: 64x32b + 96x16b + 64x8b).
+  static constexpr unsigned kPhvBits = 64 * 32 + 96 * 16 + 64 * 8;  // 4096
+
+  // Each SALU may pre-load at most this many register actions (paper §3.1.2).
+  static constexpr unsigned kMaxRegisterActions = 4;
+
+  // Register (stateful memory) bucket widths supported.
+  static constexpr unsigned kRegisterBitWidth = 32;
+
+  /// SRAM blocks needed for `buckets` buckets of `bit_width` bits.
+  static constexpr unsigned sram_blocks_for(std::uint64_t buckets, unsigned bit_width) {
+    const std::uint64_t bits = buckets * bit_width;
+    return static_cast<unsigned>((bits + kSramBlockBits - 1) / kSramBlockBits);
+  }
+};
+
+/// Control-plane rule-install latencies measured on the Tofino SDE
+/// (paper §5.1): ~3 ms per ordinary table rule, ~16 ms per dynamic-hash
+/// mask reconfiguration.  Batched rules amortise to per-batch cost.
+struct RuleInstallModel {
+  static constexpr double kTableRuleMs = 3.0;
+  static constexpr double kHashMaskRuleMs = 16.0;
+  /// When n rules of one kind are issued as a batch, total cost is
+  /// first-rule cost + (n-1) * per-rule marginal cost.  The factor is
+  /// calibrated against the per-algorithm deployment delays of paper
+  /// Table 3 (e.g. Bloom Filter d=3: 9 rules in ~13.7 ms).
+  static constexpr double kBatchMarginalFactor = 0.44;
+
+  static double batched_ms(double per_rule_ms, unsigned n) {
+    if (n == 0) return 0.0;
+    return per_rule_ms + (n - 1) * per_rule_ms * kBatchMarginalFactor;
+  }
+};
+
+}  // namespace flymon::dataplane

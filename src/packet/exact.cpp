@@ -1,0 +1,105 @@
+#include "packet/exact.hpp"
+
+#include <cmath>
+
+#include "common/hash.hpp"
+
+namespace flymon {
+
+std::uint64_t read_meta(const Packet& p, MetaField f) noexcept {
+  switch (f) {
+    case MetaField::kOne: return 1;
+    case MetaField::kWireBytes: return p.wire_bytes;
+    case MetaField::kQueueLen: return p.queue_len;
+    case MetaField::kQueueDelay: return p.queue_delay_ns;
+    case MetaField::kTimestamp: return p.ts_ns >> kTsShift;
+  }
+  return 0;
+}
+
+FreqMap ExactStats::frequency(std::span<const Packet> trace, const FlowKeySpec& key,
+                              MetaField param) {
+  FreqMap out;
+  for (const Packet& p : trace) out[extract_flow_key(p, key)] += read_meta(p, param);
+  return out;
+}
+
+FreqMap ExactStats::distinct(std::span<const Packet> trace, const FlowKeySpec& key,
+                             const FlowKeySpec& param_key) {
+  std::unordered_map<FlowKeyValue, std::unordered_set<std::uint64_t>> sets;
+  for (const Packet& p : trace) {
+    const FlowKeyValue pv = extract_flow_key(p, param_key);
+    sets[extract_flow_key(p, key)].insert(
+        hash64(std::span<const std::uint8_t>(pv.bytes.data(), pv.bytes.size()), 0xD157ull));
+  }
+  FreqMap out;
+  out.reserve(sets.size());
+  for (const auto& [k, s] : sets) out[k] = s.size();
+  return out;
+}
+
+FreqMap ExactStats::max_value(std::span<const Packet> trace, const FlowKeySpec& key,
+                              MetaField param) {
+  FreqMap out;
+  for (const Packet& p : trace) {
+    auto& slot = out[extract_flow_key(p, key)];
+    slot = std::max<std::uint64_t>(slot, read_meta(p, param));
+  }
+  return out;
+}
+
+FreqMap ExactStats::max_interarrival(std::span<const Packet> trace,
+                                     const FlowKeySpec& key) {
+  std::unordered_map<FlowKeyValue, std::uint64_t> last_seen;
+  FreqMap out;
+  for (const Packet& p : trace) {
+    const FlowKeyValue k = extract_flow_key(p, key);
+    const auto [it, fresh] = last_seen.try_emplace(k, p.ts_ns);
+    if (!fresh) {
+      const std::uint64_t gap = p.ts_ns >= it->second ? p.ts_ns - it->second : 0;
+      auto& slot = out[k];
+      slot = std::max(slot, gap);
+      it->second = p.ts_ns;
+    } else {
+      out[k];  // flow exists with gap 0 until a second packet arrives
+    }
+  }
+  return out;
+}
+
+std::uint64_t ExactStats::cardinality(std::span<const Packet> trace,
+                                      const FlowKeySpec& key) {
+  std::unordered_set<FlowKeyValue> flows;
+  for (const Packet& p : trace) flows.insert(extract_flow_key(p, key));
+  return flows.size();
+}
+
+std::map<std::uint64_t, std::uint64_t> ExactStats::size_distribution(const FreqMap& freq) {
+  std::map<std::uint64_t, std::uint64_t> dist;
+  for (const auto& [k, f] : freq) ++dist[f];
+  return dist;
+}
+
+double ExactStats::flow_entropy(const FreqMap& freq) {
+  double total = 0;
+  for (const auto& [k, f] : freq) total += static_cast<double>(f);
+  if (total <= 0) return 0;
+  double h = 0;
+  for (const auto& [k, f] : freq) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+std::vector<FlowKeyValue> ExactStats::over_threshold(const FreqMap& freq,
+                                                     std::uint64_t threshold) {
+  std::vector<FlowKeyValue> out;
+  for (const auto& [k, f] : freq) {
+    if (f >= threshold) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace flymon

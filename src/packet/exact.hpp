@@ -1,0 +1,68 @@
+// Exact (ground-truth) statistics computed with unbounded memory.
+// Every accuracy experiment compares a sketch estimate against these.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "packet/flowkey.hpp"
+#include "packet/packet.hpp"
+
+namespace flymon {
+
+/// Scalar per-packet values a measurement task can accumulate.
+enum class MetaField : std::uint8_t {
+  kOne,          ///< constant 1 (packet count)
+  kWireBytes,    ///< packet length
+  kQueueLen,     ///< queue occupancy
+  kQueueDelay,   ///< queueing delay (ns)
+  kTimestamp,    ///< coarse arrival timestamp (ts_ns >> kTsShift)
+};
+
+/// Read a MetaField off a packet.
+std::uint64_t read_meta(const Packet& p, MetaField f) noexcept;
+
+using FreqMap = std::unordered_map<FlowKeyValue, std::uint64_t>;
+
+/// Ground-truth calculators.  All take a packet span and group by a
+/// FlowKeySpec exactly (no compression, no collisions).
+class ExactStats {
+ public:
+  /// Sum of `param` per flow key (Frequency attribute).
+  static FreqMap frequency(std::span<const Packet> trace, const FlowKeySpec& key,
+                           MetaField param = MetaField::kOne);
+
+  /// Number of distinct `param_key` values per flow key (Distinct attribute).
+  static FreqMap distinct(std::span<const Packet> trace, const FlowKeySpec& key,
+                          const FlowKeySpec& param_key);
+
+  /// Maximum `param` per flow key (Max attribute).
+  static FreqMap max_value(std::span<const Packet> trace, const FlowKeySpec& key,
+                           MetaField param);
+
+  /// Maximum inter-arrival gap (ns) per flow key; flows with one packet
+  /// have gap 0.
+  static FreqMap max_interarrival(std::span<const Packet> trace,
+                                  const FlowKeySpec& key);
+
+  /// Number of distinct flows under `key` (Cardinality).
+  static std::uint64_t cardinality(std::span<const Packet> trace,
+                                   const FlowKeySpec& key);
+
+  /// Flow-size distribution: size -> number of flows of that size.
+  static std::map<std::uint64_t, std::uint64_t> size_distribution(const FreqMap& freq);
+
+  /// Shannon entropy (nats) of the flow-size empirical distribution:
+  /// H = -sum_i (f_i/N) ln(f_i/N) over flows i, N = total packets.
+  static double flow_entropy(const FreqMap& freq);
+
+  /// Keys whose frequency >= threshold (heavy hitters / DDoS victims).
+  static std::vector<FlowKeyValue> over_threshold(const FreqMap& freq,
+                                                  std::uint64_t threshold);
+};
+
+}  // namespace flymon

@@ -1,0 +1,76 @@
+#include "packet/flowkey.hpp"
+
+#include "common/hash.hpp"
+
+namespace flymon {
+namespace {
+
+/// Write a prefix mask of `bits` bits starting at byte `at` spanning
+/// `field_bytes` bytes (big-endian: prefix occupies most-significant bits).
+void put_prefix_mask(CandidateKey& m, std::size_t at, unsigned field_bytes,
+                     unsigned bits) noexcept {
+  for (unsigned i = 0; i < field_bytes; ++i) {
+    const unsigned hi = (i + 1) * 8;
+    if (bits >= hi) {
+      m[at + i] = 0xFF;
+    } else if (bits > i * 8) {
+      const unsigned partial = bits - i * 8;  // 1..7
+      m[at + i] = static_cast<std::uint8_t>(0xFF << (8 - partial));
+    } else {
+      m[at + i] = 0x00;
+    }
+  }
+}
+
+}  // namespace
+
+CandidateKey FlowKeySpec::mask() const noexcept {
+  CandidateKey m{};
+  put_prefix_mask(m, 0, 4, src_ip_bits);
+  put_prefix_mask(m, 4, 4, dst_ip_bits);
+  put_prefix_mask(m, 8, 2, src_port_bits);
+  put_prefix_mask(m, 10, 2, dst_port_bits);
+  put_prefix_mask(m, 12, 1, proto_bits);
+  put_prefix_mask(m, 13, 4, ts_bits);
+  return m;
+}
+
+std::string FlowKeySpec::name() const {
+  std::string out;
+  auto add = [&out](const char* base, unsigned bits, unsigned full) {
+    if (bits == 0) return;
+    if (!out.empty()) out += '+';
+    out += base;
+    if (bits != full) {
+      out += '/';
+      out += std::to_string(bits);
+    }
+  };
+  add("SrcIP", src_ip_bits, 32);
+  add("DstIP", dst_ip_bits, 32);
+  add("SrcPort", src_port_bits, 16);
+  add("DstPort", dst_port_bits, 16);
+  add("Proto", proto_bits, 8);
+  add("Ts", ts_bits, 32);
+  if (out.empty()) out = "<empty>";
+  return out;
+}
+
+FlowKeyValue mask_candidate_key(const CandidateKey& key, const FlowKeySpec& spec) noexcept {
+  const CandidateKey m = spec.mask();
+  FlowKeyValue out;
+  for (std::size_t i = 0; i < kCandidateKeyBytes; ++i) out.bytes[i] = key[i] & m[i];
+  return out;
+}
+
+FlowKeyValue extract_flow_key(const Packet& p, const FlowKeySpec& spec) noexcept {
+  return mask_candidate_key(serialize_candidate_key(p), spec);
+}
+
+}  // namespace flymon
+
+std::size_t std::hash<flymon::FlowKeyValue>::operator()(
+    const flymon::FlowKeyValue& k) const noexcept {
+  return static_cast<std::size_t>(flymon::hash64(
+      std::span<const std::uint8_t>(k.bytes.data(), k.bytes.size()), 0x51DEC0DEull));
+}

@@ -1,0 +1,72 @@
+// Flow-key specifications: which (partial) header fields group packets into
+// flows, and the byte masks that realise them over the candidate key.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "packet/packet.hpp"
+
+namespace flymon {
+
+/// Per-field prefix lengths (in bits) over the candidate key set.  A field
+/// with length 0 does not participate in the key; a field with its full
+/// width participates entirely; anything in between is a prefix (e.g.
+/// SrcIP/24).  This matches the paper's notion of "any partial key of the
+/// candidate key set".
+struct FlowKeySpec {
+  std::uint8_t src_ip_bits = 0;    ///< 0..32
+  std::uint8_t dst_ip_bits = 0;    ///< 0..32
+  std::uint8_t src_port_bits = 0;  ///< 0..16
+  std::uint8_t dst_port_bits = 0;  ///< 0..16
+  std::uint8_t proto_bits = 0;     ///< 0..8
+  std::uint8_t ts_bits = 0;        ///< 0..32 (coarse timestamp)
+
+  friend bool operator==(const FlowKeySpec&, const FlowKeySpec&) = default;
+
+  /// Total number of key bits selected.
+  unsigned total_bits() const noexcept {
+    return src_ip_bits + dst_ip_bits + src_port_bits + dst_port_bits +
+           proto_bits + ts_bits;
+  }
+  bool empty() const noexcept { return total_bits() == 0; }
+
+  /// Byte mask over the candidate-key layout: bit set <=> bit participates.
+  CandidateKey mask() const noexcept;
+
+  /// Human-readable name, e.g. "SrcIP/24+DstPort".
+  std::string name() const;
+
+  // Common key shapes.
+  static FlowKeySpec src_ip(std::uint8_t prefix = 32) { return {prefix, 0, 0, 0, 0, 0}; }
+  static FlowKeySpec dst_ip(std::uint8_t prefix = 32) { return {0, prefix, 0, 0, 0, 0}; }
+  static FlowKeySpec ip_pair() { return {32, 32, 0, 0, 0, 0}; }
+  static FlowKeySpec src_port() { return {0, 0, 16, 0, 0, 0}; }
+  static FlowKeySpec dst_port() { return {0, 0, 0, 16, 0, 0}; }
+  static FlowKeySpec five_tuple() { return {32, 32, 16, 16, 8, 0}; }
+  static FlowKeySpec timestamp(std::uint8_t bits = 32) { return {0, 0, 0, 0, 0, bits}; }
+};
+
+/// The masked candidate key of one packet under a FlowKeySpec — the exact
+/// (uncompressed) flow identity, used for ground truth and for baseline
+/// sketches that hash the full uncompressed key.
+struct FlowKeyValue {
+  CandidateKey bytes{};
+
+  friend bool operator==(const FlowKeyValue&, const FlowKeyValue&) = default;
+};
+
+/// Apply `spec`'s mask to a packet's candidate key.
+FlowKeyValue extract_flow_key(const Packet& p, const FlowKeySpec& spec) noexcept;
+
+/// Apply `spec`'s mask to an already-serialised candidate key.
+FlowKeyValue mask_candidate_key(const CandidateKey& key, const FlowKeySpec& spec) noexcept;
+
+}  // namespace flymon
+
+template <>
+struct std::hash<flymon::FlowKeyValue> {
+  std::size_t operator()(const flymon::FlowKeyValue& k) const noexcept;
+};

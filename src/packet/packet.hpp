@@ -1,0 +1,87 @@
+// Packet model and the candidate-key byte layout shared by the whole system.
+//
+// FlyMon's candidate key set is the 5-tuple plus a coarse timestamp
+// (paper §5, "Setting").  Every component that hashes packet fields —
+// compression-stage hash units, baseline sketches, ground truth — works on
+// the single canonical serialisation defined here so that prefix masks mean
+// the same thing everywhere.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+
+namespace flymon {
+
+/// IPv4 5-tuple.  IPs and ports are stored in host order; serialisation is
+/// big-endian so that "prefix" masks select the most-significant bits.
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+};
+
+/// A packet as seen by the measurement data plane: headers plus the standard
+/// metadata FlyMon can bind as attribute parameters (bytes, timestamp, queue
+/// depth / delay as exported by the traffic manager).
+struct Packet {
+  FiveTuple ft{};
+  std::uint32_t wire_bytes = 0;    ///< packet length on the wire
+  std::uint64_t ts_ns = 0;         ///< arrival timestamp (ns)
+  std::uint32_t queue_len = 0;     ///< egress queue occupancy (cells)
+  std::uint32_t queue_delay_ns = 0;///< queueing delay experienced
+};
+
+/// Byte layout of the candidate key set (big-endian fields):
+///   [0..3] SrcIP  [4..7] DstIP  [8..9] SrcPort  [10..11] DstPort
+///   [12]   Proto  [13..16] Timestamp (ts_ns >> kTsShift, 32 bits)
+inline constexpr std::size_t kCandidateKeyBytes = 17;
+inline constexpr std::size_t kCandidateKeyBits = kCandidateKeyBytes * 8;
+inline constexpr unsigned kTsShift = 10;  ///< ~1 us timestamp granularity
+
+using CandidateKey = std::array<std::uint8_t, kCandidateKeyBytes>;
+
+/// Serialise a packet's header fields into the canonical candidate key.
+constexpr CandidateKey serialize_candidate_key(const Packet& p) noexcept {
+  CandidateKey k{};
+  auto put32 = [&k](std::size_t at, std::uint32_t v) {
+    k[at] = static_cast<std::uint8_t>(v >> 24);
+    k[at + 1] = static_cast<std::uint8_t>(v >> 16);
+    k[at + 2] = static_cast<std::uint8_t>(v >> 8);
+    k[at + 3] = static_cast<std::uint8_t>(v);
+  };
+  put32(0, p.ft.src_ip);
+  put32(4, p.ft.dst_ip);
+  k[8] = static_cast<std::uint8_t>(p.ft.src_port >> 8);
+  k[9] = static_cast<std::uint8_t>(p.ft.src_port);
+  k[10] = static_cast<std::uint8_t>(p.ft.dst_port >> 8);
+  k[11] = static_cast<std::uint8_t>(p.ft.dst_port);
+  k[12] = p.ft.protocol;
+  put32(13, static_cast<std::uint32_t>(p.ts_ns >> kTsShift));
+  return k;
+}
+
+/// Inverse of serialize_candidate_key: reconstruct a probe packet from a
+/// (possibly masked) candidate key.  Fields outside a flow-key mask simply
+/// come back zero, which is exactly what control-plane readout probes need.
+constexpr Packet packet_from_candidate_key(const CandidateKey& k) noexcept {
+  auto get32 = [&k](std::size_t at) {
+    return (std::uint32_t{k[at]} << 24) | (std::uint32_t{k[at + 1]} << 16) |
+           (std::uint32_t{k[at + 2]} << 8) | std::uint32_t{k[at + 3]};
+  };
+  Packet p;
+  p.ft.src_ip = get32(0);
+  p.ft.dst_ip = get32(4);
+  p.ft.src_port = static_cast<std::uint16_t>((k[8] << 8) | k[9]);
+  p.ft.dst_port = static_cast<std::uint16_t>((k[10] << 8) | k[11]);
+  p.ft.protocol = k[12];
+  p.ts_ns = std::uint64_t{get32(13)} << kTsShift;
+  return p;
+}
+
+}  // namespace flymon

@@ -1,0 +1,118 @@
+#include "packet/trace_gen.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+
+namespace flymon {
+namespace {
+
+FiveTuple random_tuple(Rng& rng, std::uint32_t src_base, std::uint32_t dst_base) {
+  FiveTuple ft;
+  ft.src_ip = src_base | (rng.next_u32() & 0x00FF'FFFF);
+  ft.dst_ip = dst_base | (rng.next_u32() & 0x0000'FFFF);
+  ft.src_port = static_cast<std::uint16_t>(1024 + rng.next_below(64511));
+  ft.dst_port = static_cast<std::uint16_t>(rng.next_bool(0.5) ? 80 : 1024 + rng.next_below(64511));
+  ft.protocol = rng.next_bool(0.9) ? 6 : 17;  // mostly TCP, some UDP
+  return ft;
+}
+
+}  // namespace
+
+std::vector<Packet> TraceGenerator::generate(const TraceConfig& cfg) {
+  Rng rng(cfg.seed);
+
+  // Distinct flow identities.
+  std::vector<FiveTuple> flows;
+  flows.reserve(cfg.num_flows);
+  std::unordered_set<std::uint64_t> seen;
+  while (flows.size() < cfg.num_flows) {
+    const FiveTuple ft = random_tuple(rng, cfg.src_ip_base, cfg.dst_ip_base);
+    const std::uint64_t fp = hash64_value(ft, 0xF10u);
+    if (seen.insert(fp).second) flows.push_back(ft);
+  }
+
+  const ZipfSampler zipf(cfg.num_flows, cfg.zipf_alpha);
+  std::vector<Packet> trace;
+  trace.reserve(cfg.num_packets);
+  const std::uint64_t step =
+      cfg.num_packets ? std::max<std::uint64_t>(1, cfg.duration_ns / cfg.num_packets) : 1;
+  for (std::size_t i = 0; i < cfg.num_packets; ++i) {
+    Packet p;
+    p.ft = flows[zipf.sample(rng)];
+    p.ts_ns = i * step + rng.next_below(step);
+    p.wire_bytes = cfg.vary_packet_size
+                       ? static_cast<std::uint32_t>(64 + rng.next_below(1437))
+                       : 1000u;
+    // Queue metadata: a slowly-varying sawtooth base plus noise, so Max
+    // attribute tasks have a meaningful signal.
+    const std::uint32_t base = static_cast<std::uint32_t>((i / 1024) % 96);
+    p.queue_len = base + static_cast<std::uint32_t>(rng.next_below(32));
+    p.queue_delay_ns = p.queue_len * 500 + static_cast<std::uint32_t>(rng.next_below(2000));
+    trace.push_back(p);
+  }
+  return trace;
+}
+
+void TraceGenerator::inject_ddos(std::vector<Packet>& trace, const DdosConfig& cfg,
+                                 std::uint64_t duration_ns) {
+  Rng rng(cfg.seed);
+  for (std::size_t v = 0; v < cfg.num_victims; ++v) {
+    const std::uint32_t victim_ip = cfg.victim_ip_base + static_cast<std::uint32_t>(v);
+    for (std::size_t s = 0; s < cfg.spreaders_per_victim; ++s) {
+      const std::uint32_t attacker = 0x2C00'0000 | (rng.next_u32() & 0x00FF'FFFF);
+      for (std::size_t k = 0; k < cfg.packets_per_spreader; ++k) {
+        Packet p;
+        p.ft.src_ip = attacker;
+        p.ft.dst_ip = victim_ip;
+        p.ft.src_port = static_cast<std::uint16_t>(1024 + rng.next_below(60000));
+        p.ft.dst_port = 80;
+        p.ft.protocol = 6;
+        p.wire_bytes = 60;
+        p.ts_ns = rng.next_below(duration_ns);
+        trace.push_back(p);
+      }
+    }
+  }
+  sort_by_time(trace);
+}
+
+void TraceGenerator::inject_spike(std::vector<Packet>& trace, std::size_t extra_flows,
+                                  std::uint64_t t_begin_ns, std::uint64_t t_end_ns,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  const std::uint64_t span = t_end_ns > t_begin_ns ? t_end_ns - t_begin_ns : 1;
+  for (std::size_t f = 0; f < extra_flows; ++f) {
+    const FiveTuple ft = random_tuple(rng, 0x2D00'0000, 0xC0A8'0000);
+    const std::size_t pkts = 1 + rng.next_below(3);
+    for (std::size_t k = 0; k < pkts; ++k) {
+      Packet p;
+      p.ft = ft;
+      p.wire_bytes = static_cast<std::uint32_t>(64 + rng.next_below(1437));
+      p.ts_ns = t_begin_ns + rng.next_below(span);
+      trace.push_back(p);
+    }
+  }
+  sort_by_time(trace);
+}
+
+void TraceGenerator::sort_by_time(std::vector<Packet>& trace) {
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const Packet& a, const Packet& b) { return a.ts_ns < b.ts_ns; });
+}
+
+std::vector<Packet> TraceGenerator::slice(const std::vector<Packet>& trace,
+                                          std::uint64_t t_begin_ns,
+                                          std::uint64_t t_end_ns) {
+  const auto lo = std::lower_bound(
+      trace.begin(), trace.end(), t_begin_ns,
+      [](const Packet& p, std::uint64_t t) { return p.ts_ns < t; });
+  const auto hi = std::lower_bound(
+      lo, trace.end(), t_end_ns,
+      [](const Packet& p, std::uint64_t t) { return p.ts_ns < t; });
+  return {lo, hi};
+}
+
+}  // namespace flymon

@@ -1,0 +1,102 @@
+#include "packet/trace_io.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace flymon {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) | (std::uint32_t{p[2]} << 16) |
+         (std::uint32_t{p[3]} << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return std::uint64_t{get_u32(p)} | (std::uint64_t{get_u32(p + 4)} << 32);
+}
+
+constexpr std::size_t kRecordBytes = 4 + 4 + 2 + 2 + 1 + 4 + 8 + 4 + 4;  // 33
+
+}  // namespace
+
+void TraceIo::save(const std::string& path, const std::vector<Packet>& trace) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("TraceIo::save: cannot open " + path);
+
+  std::vector<std::uint8_t> buf;
+  buf.reserve(16 + trace.size() * kRecordBytes);
+  put_u32(buf, kMagic);
+  put_u32(buf, kVersion);
+  put_u64(buf, trace.size());
+  for (const Packet& p : trace) {
+    put_u32(buf, p.ft.src_ip);
+    put_u32(buf, p.ft.dst_ip);
+    buf.push_back(static_cast<std::uint8_t>(p.ft.src_port));
+    buf.push_back(static_cast<std::uint8_t>(p.ft.src_port >> 8));
+    buf.push_back(static_cast<std::uint8_t>(p.ft.dst_port));
+    buf.push_back(static_cast<std::uint8_t>(p.ft.dst_port >> 8));
+    buf.push_back(p.ft.protocol);
+    put_u32(buf, p.wire_bytes);
+    put_u64(buf, p.ts_ns);
+    put_u32(buf, p.queue_len);
+    put_u32(buf, p.queue_delay_ns);
+  }
+  if (std::fwrite(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+    throw std::runtime_error("TraceIo::save: short write to " + path);
+  }
+}
+
+std::vector<Packet> TraceIo::load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("TraceIo::load: cannot open " + path);
+
+  std::uint8_t header[16];
+  if (std::fread(header, 1, sizeof header, f.get()) != sizeof header) {
+    throw std::runtime_error("TraceIo::load: truncated header in " + path);
+  }
+  if (get_u32(header) != kMagic) throw std::runtime_error("TraceIo::load: bad magic");
+  if (get_u32(header + 4) != kVersion) {
+    throw std::runtime_error("TraceIo::load: unsupported version");
+  }
+  const std::uint64_t count = get_u64(header + 8);
+
+  std::vector<std::uint8_t> buf(count * kRecordBytes);
+  if (std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+    throw std::runtime_error("TraceIo::load: truncated records in " + path);
+  }
+  std::vector<Packet> trace;
+  trace.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t* r = buf.data() + i * kRecordBytes;
+    Packet p;
+    p.ft.src_ip = get_u32(r);
+    p.ft.dst_ip = get_u32(r + 4);
+    p.ft.src_port = static_cast<std::uint16_t>(r[8] | (r[9] << 8));
+    p.ft.dst_port = static_cast<std::uint16_t>(r[10] | (r[11] << 8));
+    p.ft.protocol = r[12];
+    p.wire_bytes = get_u32(r + 13);
+    p.ts_ns = get_u64(r + 17);
+    p.queue_len = get_u32(r + 25);
+    p.queue_delay_ns = get_u32(r + 29);
+    trace.push_back(p);
+  }
+  return trace;
+}
+
+}  // namespace flymon

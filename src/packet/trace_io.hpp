@@ -1,0 +1,28 @@
+// Binary trace persistence: a compact fixed-record format so generated
+// workloads (or converted real captures) can be saved once and replayed
+// across benchmark runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace flymon {
+
+/// File layout: 16-byte header (magic "FMTR", version, record count) then
+/// packed 29-byte records in little-endian field order.
+class TraceIo {
+ public:
+  static constexpr std::uint32_t kMagic = 0x464D'5452;  // "FMTR"
+  static constexpr std::uint32_t kVersion = 1;
+
+  /// Write the trace; throws std::runtime_error on I/O failure.
+  static void save(const std::string& path, const std::vector<Packet>& trace);
+
+  /// Read a trace written by save(); throws on I/O error, bad magic or
+  /// version mismatch.
+  static std::vector<Packet> load(const std::string& path);
+};
+
+}  // namespace flymon

@@ -1,0 +1,146 @@
+#include "sketch/beaucoup.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace flymon::sketch {
+
+double CouponConfig::expected_items_to_collect(unsigned j) const {
+  // Each distinct item draws coupon i (uniform among c) with probability p.
+  // E[items to go from i collected to i+1] = 1 / (p * (c - i)).
+  double e = 0;
+  for (unsigned i = 0; i < j && i < num_coupons; ++i) {
+    e += 1.0 / (draw_probability * (num_coupons - i));
+  }
+  return e;
+}
+
+CouponConfig CouponConfig::for_threshold(double threshold, unsigned c, unsigned ct) {
+  if (threshold < 1 || c == 0 || c > 32 || ct == 0 || ct > c)
+    throw std::invalid_argument("CouponConfig::for_threshold");
+  CouponConfig cfg;
+  cfg.num_coupons = c;
+  cfg.collect_threshold = ct;
+  double harmonic = 0;
+  for (unsigned i = 0; i < ct; ++i) harmonic += 1.0 / (c - i);
+  cfg.draw_probability = std::min(1.0 / c, harmonic / threshold);
+  return cfg;
+}
+
+BeauCoupTable::BeauCoupTable(std::uint32_t num_slots, CouponConfig cfg,
+                             unsigned table_id, bool use_checksum)
+    : slots_(num_slots), cfg_(cfg), table_id_(table_id), use_checksum_(use_checksum) {
+  if (num_slots == 0) throw std::invalid_argument("BeauCoupTable: zero slots");
+}
+
+BeauCoupTable BeauCoupTable::with_memory(std::size_t bytes, CouponConfig cfg,
+                                         unsigned table_id, bool use_checksum) {
+  // A slot is 8 B with checksum (32b checksum + 32b bitmap), 4 B without.
+  const std::size_t slot_bytes = use_checksum ? 8 : 4;
+  const std::size_t n = std::max<std::size_t>(1, bytes / slot_bytes);
+  return BeauCoupTable(static_cast<std::uint32_t>(n), cfg, table_id, use_checksum);
+}
+
+std::optional<unsigned> BeauCoupTable::draw_coupon(KeyBytes attr_value) const {
+  // A single hash of the attribute value decides draw-or-not and which
+  // coupon: the value space [0,1) is split into c windows of width p.
+  const std::uint64_t h = row_hash(attr_value, table_id_, 0xC0570ull);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  const double total = cfg_.draw_probability * cfg_.num_coupons;
+  if (u >= total) return std::nullopt;
+  const auto idx = static_cast<unsigned>(u / cfg_.draw_probability);
+  return std::min(idx, cfg_.num_coupons - 1);
+}
+
+void BeauCoupTable::update(KeyBytes flow_key, KeyBytes attr_value) {
+  const auto coupon = draw_coupon(attr_value);
+  if (!coupon) return;
+  const std::uint64_t kh = row_hash(flow_key, table_id_, 0x5107ull);
+  Slot& s = slots_[kh % slots_.size()];
+  const auto csum = static_cast<std::uint32_t>(row_hash(flow_key, table_id_, 0xC5D7ull));
+  if (!s.occupied) {
+    s.occupied = true;
+    s.checksum = csum;
+    s.bitmap = 0;
+  } else if (use_checksum_ && s.checksum != csum) {
+    return;  // collision: original BeauCoup drops the update
+  }
+  s.bitmap |= (1u << *coupon);
+}
+
+unsigned BeauCoupTable::coupons(KeyBytes flow_key) const {
+  const std::uint64_t kh = row_hash(flow_key, table_id_, 0x5107ull);
+  const Slot& s = slots_[kh % slots_.size()];
+  if (!s.occupied) return 0;
+  if (use_checksum_) {
+    const auto csum = static_cast<std::uint32_t>(row_hash(flow_key, table_id_, 0xC5D7ull));
+    if (s.checksum != csum) return 0;
+  }
+  return static_cast<unsigned>(std::popcount(s.bitmap));
+}
+
+double BeauCoupTable::estimate(KeyBytes flow_key) const {
+  return cfg_.expected_items_to_collect(coupons(flow_key));
+}
+
+std::size_t BeauCoupTable::reported_slots() const {
+  std::size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.occupied &&
+        static_cast<unsigned>(std::popcount(s.bitmap)) >= cfg_.collect_threshold)
+      ++n;
+  }
+  return n;
+}
+
+std::size_t BeauCoupTable::memory_bytes() const noexcept {
+  return slots_.size() * (use_checksum_ ? 8 : 4);
+}
+
+void BeauCoupTable::clear() { std::fill(slots_.begin(), slots_.end(), Slot{}); }
+
+BeauCoup::BeauCoup(unsigned d, std::uint32_t slots_per_table, CouponConfig cfg,
+                   bool use_checksum)
+    : cfg_(cfg) {
+  if (d == 0) throw std::invalid_argument("BeauCoup: d must be > 0");
+  tables_.reserve(d);
+  for (unsigned i = 0; i < d; ++i) tables_.emplace_back(slots_per_table, cfg, i, use_checksum);
+}
+
+BeauCoup BeauCoup::with_memory(unsigned d, std::size_t total_bytes, CouponConfig cfg,
+                               bool use_checksum) {
+  const std::size_t slot_bytes = use_checksum ? 8 : 4;
+  const std::size_t per_table = std::max<std::size_t>(1, total_bytes / (d * slot_bytes));
+  return BeauCoup(d, static_cast<std::uint32_t>(per_table), cfg, use_checksum);
+}
+
+void BeauCoup::update(KeyBytes flow_key, KeyBytes attr_value) {
+  for (auto& t : tables_) t.update(flow_key, attr_value);
+}
+
+bool BeauCoup::reported(KeyBytes flow_key) const {
+  for (const auto& t : tables_) {
+    if (t.coupons(flow_key) < cfg_.collect_threshold) return false;
+  }
+  return true;
+}
+
+double BeauCoup::estimate(KeyBytes flow_key) const {
+  double best = std::numeric_limits<double>::max();
+  for (const auto& t : tables_) best = std::min(best, t.estimate(flow_key));
+  return best;
+}
+
+std::size_t BeauCoup::memory_bytes() const noexcept {
+  std::size_t s = 0;
+  for (const auto& t : tables_) s += t.memory_bytes();
+  return s;
+}
+
+void BeauCoup::clear() {
+  for (auto& t : tables_) t.clear();
+}
+
+}  // namespace flymon::sketch

@@ -1,0 +1,100 @@
+// BeauCoup (Chen et al., SIGCOMM 2020): coupon-collector based distinct
+// counting that performs at most one memory update per packet.
+//
+// A query is configured with c coupons, per-item draw probability p and a
+// collection threshold ct.  Each *distinct* attribute value deterministically
+// either draws one specific coupon (w.p. c*p overall) or none; a flow is
+// reported when ct distinct coupons have been collected.  The original
+// system stores, per flow slot, a key checksum to detect hash collisions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sketch/sketch_common.hpp"
+
+namespace flymon::sketch {
+
+/// Coupon configuration for a target distinct-count threshold.
+struct CouponConfig {
+  unsigned num_coupons = 32;    ///< c (<= 32, one bit each)
+  double draw_probability = 0;  ///< p, per-coupon selection probability
+  unsigned collect_threshold = 24;  ///< ct coupons needed to report
+
+  /// Expected number of distinct items needed to collect `j` coupons.
+  double expected_items_to_collect(unsigned j) const;
+
+  /// Pick (c, p, ct) so that a flow is expected to be reported when its
+  /// distinct count reaches `threshold`.
+  static CouponConfig for_threshold(double threshold, unsigned c = 32,
+                                    unsigned ct = 24);
+};
+
+/// One BeauCoup table: an array of flow slots, each a (checksum, bitmap)
+/// pair.  `d`-table variants in the evaluation are built from d instances.
+class BeauCoupTable {
+ public:
+  BeauCoupTable(std::uint32_t num_slots, CouponConfig cfg, unsigned table_id,
+                bool use_checksum = true);
+
+  static BeauCoupTable with_memory(std::size_t bytes, CouponConfig cfg,
+                                   unsigned table_id, bool use_checksum = true);
+
+  /// Process one (flow key, attribute value) observation.
+  void update(KeyBytes flow_key, KeyBytes attr_value);
+
+  /// Coupons collected for a flow key (0 if slot lost to a collision).
+  unsigned coupons(KeyBytes flow_key) const;
+
+  /// Distinct-count estimate for a flow key (coupon-collector inversion).
+  double estimate(KeyBytes flow_key) const;
+
+  /// Flow slots currently at/over the collection threshold.
+  std::size_t reported_slots() const;
+
+  const CouponConfig& config() const noexcept { return cfg_; }
+  std::size_t memory_bytes() const noexcept;
+  void clear();
+
+ private:
+  struct Slot {
+    std::uint32_t checksum = 0;
+    std::uint32_t bitmap = 0;
+    bool occupied = false;
+  };
+
+  std::optional<unsigned> draw_coupon(KeyBytes attr_value) const;
+
+  std::vector<Slot> slots_;
+  CouponConfig cfg_;
+  unsigned table_id_;
+  bool use_checksum_;
+};
+
+/// d independent BeauCoup tables; a flow is reported when every table has
+/// collected ct coupons (the cross-table AND suppresses collision
+/// overestimates — the same idea FlyMon uses instead of checksums).
+class BeauCoup {
+ public:
+  BeauCoup(unsigned d, std::uint32_t slots_per_table, CouponConfig cfg,
+           bool use_checksum = true);
+
+  static BeauCoup with_memory(unsigned d, std::size_t total_bytes, CouponConfig cfg,
+                              bool use_checksum = true);
+
+  void update(KeyBytes flow_key, KeyBytes attr_value);
+  bool reported(KeyBytes flow_key) const;
+  /// Min-across-tables distinct estimate.
+  double estimate(KeyBytes flow_key) const;
+
+  unsigned depth() const noexcept { return static_cast<unsigned>(tables_.size()); }
+  std::size_t memory_bytes() const noexcept;
+  void clear();
+
+ private:
+  std::vector<BeauCoupTable> tables_;
+  CouponConfig cfg_;
+};
+
+}  // namespace flymon::sketch

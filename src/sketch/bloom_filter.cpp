@@ -1,0 +1,41 @@
+#include "sketch/bloom_filter.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace flymon::sketch {
+
+BloomFilter::BloomFilter(std::uint64_t m_bits, unsigned k) : m_(m_bits), k_(k) {
+  if (m_bits == 0 || k == 0) throw std::invalid_argument("BloomFilter: m and k must be > 0");
+  bits_.assign((m_bits + 63) / 64, 0ull);
+}
+
+BloomFilter BloomFilter::with_memory(std::size_t bytes, unsigned k) {
+  return BloomFilter(std::max<std::uint64_t>(64, std::uint64_t{bytes} * 8), k);
+}
+
+void BloomFilter::insert(KeyBytes key) {
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::uint64_t b = row_hash(key, i, 0xB100Full) % m_;
+    bits_[b >> 6] |= (1ull << (b & 63));
+  }
+}
+
+bool BloomFilter::contains(KeyBytes key) const {
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::uint64_t b = row_hash(key, i, 0xB100Full) % m_;
+    if ((bits_[b >> 6] & (1ull << (b & 63))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::fill_ratio() const noexcept {
+  std::uint64_t set = 0;
+  for (std::uint64_t w : bits_) set += static_cast<std::uint64_t>(std::popcount(w));
+  return m_ == 0 ? 0.0 : static_cast<double>(set) / static_cast<double>(m_);
+}
+
+void BloomFilter::clear() { std::fill(bits_.begin(), bits_.end(), 0ull); }
+
+}  // namespace flymon::sketch

@@ -1,0 +1,34 @@
+// Bloom filter (Bloom, 1970).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/sketch_common.hpp"
+
+namespace flymon::sketch {
+
+class BloomFilter {
+ public:
+  /// m bits, k hash functions.
+  BloomFilter(std::uint64_t m_bits, unsigned k);
+
+  static BloomFilter with_memory(std::size_t bytes, unsigned k);
+
+  void insert(KeyBytes key);
+  bool contains(KeyBytes key) const;
+
+  std::uint64_t bit_count() const noexcept { return m_; }
+  unsigned hash_count() const noexcept { return k_; }
+  std::size_t memory_bytes() const noexcept { return bits_.size() * 8; }
+  /// Fraction of bits set (load factor).
+  double fill_ratio() const noexcept;
+  void clear();
+
+ private:
+  std::uint64_t m_;
+  unsigned k_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace flymon::sketch

@@ -1,0 +1,39 @@
+#include "sketch/count_min.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace flymon::sketch {
+
+CountMin::CountMin(unsigned d, std::uint32_t w) : d_(d), w_(w) {
+  if (d == 0 || w == 0) throw std::invalid_argument("CountMin: d and w must be > 0");
+  cells_.assign(std::size_t{d} * w, 0u);
+}
+
+CountMin CountMin::with_memory(unsigned d, std::size_t bytes) {
+  const std::size_t w = bytes / (std::size_t{4} * d);
+  return CountMin(d, static_cast<std::uint32_t>(std::max<std::size_t>(1, w)));
+}
+
+void CountMin::update(KeyBytes key, std::uint32_t inc) {
+  for (unsigned r = 0; r < d_; ++r) {
+    auto& c = cells_[std::size_t{r} * w_ + row_hash(key, r) % w_];
+    const std::uint64_t sum = std::uint64_t{c} + inc;
+    c = sum > std::numeric_limits<std::uint32_t>::max()
+            ? std::numeric_limits<std::uint32_t>::max()
+            : static_cast<std::uint32_t>(sum);
+  }
+}
+
+std::uint32_t CountMin::query(KeyBytes key) const {
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  for (unsigned r = 0; r < d_; ++r) {
+    best = std::min(best, cells_[std::size_t{r} * w_ + row_hash(key, r) % w_]);
+  }
+  return best;
+}
+
+void CountMin::clear() { std::fill(cells_.begin(), cells_.end(), 0u); }
+
+}  // namespace flymon::sketch

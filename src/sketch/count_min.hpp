@@ -1,0 +1,33 @@
+// Count-Min Sketch (Cormode & Muthukrishnan, 2005).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/sketch_common.hpp"
+
+namespace flymon::sketch {
+
+class CountMin {
+ public:
+  /// d rows of w counters each (32-bit).
+  CountMin(unsigned d, std::uint32_t w);
+
+  /// Construct from a total memory budget in bytes (w = bytes / (4*d)).
+  static CountMin with_memory(unsigned d, std::size_t bytes);
+
+  void update(KeyBytes key, std::uint32_t inc = 1);
+  std::uint32_t query(KeyBytes key) const;
+
+  unsigned depth() const noexcept { return d_; }
+  std::uint32_t width() const noexcept { return w_; }
+  std::size_t memory_bytes() const noexcept { return std::size_t{d_} * w_ * 4; }
+  void clear();
+
+ private:
+  unsigned d_;
+  std::uint32_t w_;
+  std::vector<std::uint32_t> cells_;  // row-major d x w
+};
+
+}  // namespace flymon::sketch

@@ -1,0 +1,168 @@
+#include "sketch/counter_braids.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace flymon::sketch {
+
+CounterBraids::CounterBraids(std::uint32_t m1, unsigned b1, unsigned d1,
+                             std::uint32_t m2, unsigned b2, unsigned d2)
+    : m1_(m1), m2_(m2), b1_(b1), d1_(d1), b2_(b2), d2_(d2) {
+  if (m1 == 0 || m2 == 0 || d1 == 0 || d2 == 0 || b1 == 0 || b1 >= 32 || b2 == 0 ||
+      b2 > 32)
+    throw std::invalid_argument("CounterBraids: bad geometry");
+  cap1_ = 1u << b1;
+  layer1_.assign(m1, 0u);
+  layer2_.assign(m2, 0ull);
+}
+
+CounterBraids CounterBraids::with_memory(std::size_t bytes) {
+  // 8-bit layer-1 counters take 7/8 of memory; 32-bit layer-2 the rest.
+  const std::size_t l1_bytes = bytes * 7 / 8;
+  const auto m1 = static_cast<std::uint32_t>(std::max<std::size_t>(8, l1_bytes));
+  const auto m2 =
+      static_cast<std::uint32_t>(std::max<std::size_t>(2, (bytes - l1_bytes) / 4));
+  return CounterBraids(m1, 8, 3, m2, 32, 2);
+}
+
+std::vector<std::uint32_t> CounterBraids::layer1_indices(KeyBytes key) const {
+  std::vector<std::uint32_t> idx(d1_);
+  for (unsigned r = 0; r < d1_; ++r) {
+    idx[r] = static_cast<std::uint32_t>(row_hash(key, r, 0xCB1ull) % m1_);
+  }
+  return idx;
+}
+
+std::vector<std::uint32_t> CounterBraids::layer2_indices(std::uint32_t l1_index) const {
+  std::vector<std::uint32_t> idx(d2_);
+  for (unsigned r = 0; r < d2_; ++r) {
+    idx[r] = static_cast<std::uint32_t>(hash64_value(l1_index, 0xCB2ull + r) % m2_);
+  }
+  return idx;
+}
+
+void CounterBraids::update(KeyBytes key, std::uint32_t inc) {
+  for (std::uint32_t i : layer1_indices(key)) {
+    std::uint64_t v = layer1_[i] + std::uint64_t{inc};
+    // Each wrap of the b1-bit counter emits one carry into layer 2.
+    while (v >= cap1_) {
+      v -= cap1_;
+      for (std::uint32_t j : layer2_indices(i)) ++layer2_[j];
+    }
+    layer1_[i] = static_cast<std::uint32_t>(v);
+  }
+}
+
+std::vector<std::uint64_t> CounterBraids::reconstruct_layer1(
+    unsigned max_iterations) const {
+  // Decode per-layer-1-counter carry counts from layer 2 with min-sum
+  // message passing (variables: carries c_i >= 0; constraints: each layer-2
+  // counter equals the sum of carries of the layer-1 counters mapping to it).
+  std::vector<std::vector<std::uint32_t>> l2_members(m2_);
+  std::vector<std::vector<std::uint32_t>> l1_edges(m1_);
+  for (std::uint32_t i = 0; i < m1_; ++i) {
+    l1_edges[i] = layer2_indices(i);
+    for (std::uint32_t j : l1_edges[i]) l2_members[j].push_back(i);
+  }
+
+  std::vector<double> est(m1_);
+  for (std::uint32_t i = 0; i < m1_; ++i) {
+    double mn = std::numeric_limits<double>::max();
+    for (std::uint32_t j : l1_edges[i]) mn = std::min(mn, static_cast<double>(layer2_[j]));
+    est[i] = mn;
+  }
+  for (unsigned it = 0; it < max_iterations; ++it) {
+    std::vector<double> l2_sum(m2_, 0.0);
+    for (std::uint32_t j = 0; j < m2_; ++j) {
+      for (std::uint32_t i : l2_members[j]) l2_sum[j] += est[i];
+    }
+    bool changed = false;
+    for (std::uint32_t i = 0; i < m1_; ++i) {
+      double nv = std::numeric_limits<double>::max();
+      for (std::uint32_t j : l1_edges[i]) {
+        nv = std::min(nv, static_cast<double>(layer2_[j]) - (l2_sum[j] - est[i]));
+      }
+      nv = std::max(0.0, nv);
+      if (nv != est[i]) {
+        est[i] = nv;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::vector<std::uint64_t> full(m1_);
+  for (std::uint32_t i = 0; i < m1_; ++i) {
+    const auto carries = static_cast<std::uint64_t>(est[i] + 0.5);
+    full[i] = layer1_[i] + carries * cap1_;
+  }
+  return full;
+}
+
+std::uint64_t CounterBraids::query_upper_bound(KeyBytes key) const {
+  const auto full = reconstruct_layer1(20);
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t i : layer1_indices(key)) best = std::min(best, full[i]);
+  return best;
+}
+
+std::unordered_map<FlowKeyValue, std::uint64_t> CounterBraids::decode(
+    const std::vector<FlowKeyValue>& flows, unsigned max_iterations) const {
+  const auto full = reconstruct_layer1(max_iterations);
+
+  // Flow-level min-sum decoding over layer 1.
+  std::vector<std::vector<std::uint32_t>> flow_edges(flows.size());
+  std::vector<std::vector<std::uint32_t>> counter_members(m1_);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    flow_edges[f] = layer1_indices(
+        KeyBytes(flows[f].bytes.data(), flows[f].bytes.size()));
+    for (std::uint32_t i : flow_edges[f]) counter_members[i].push_back(static_cast<std::uint32_t>(f));
+  }
+
+  std::vector<double> est(flows.size());
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    double mn = std::numeric_limits<double>::max();
+    for (std::uint32_t i : flow_edges[f]) mn = std::min(mn, static_cast<double>(full[i]));
+    est[f] = mn;
+  }
+  for (unsigned it = 0; it < max_iterations; ++it) {
+    std::vector<double> csum(m1_, 0.0);
+    for (std::uint32_t i = 0; i < m1_; ++i) {
+      for (std::uint32_t f : counter_members[i]) csum[i] += est[f];
+    }
+    bool changed = false;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      double nv = std::numeric_limits<double>::max();
+      for (std::uint32_t i : flow_edges[f]) {
+        nv = std::min(nv, static_cast<double>(full[i]) - (csum[i] - est[f]));
+      }
+      nv = std::max(0.0, nv);
+      if (nv != est[f]) {
+        est[f] = nv;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::unordered_map<FlowKeyValue, std::uint64_t> out;
+  out.reserve(flows.size());
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    out[flows[f]] = static_cast<std::uint64_t>(est[f] + 0.5);
+  }
+  return out;
+}
+
+std::size_t CounterBraids::memory_bytes() const noexcept {
+  return std::size_t{m1_} * b1_ / 8 + std::size_t{m2_} * b2_ / 8;
+}
+
+void CounterBraids::clear() {
+  std::fill(layer1_.begin(), layer1_.end(), 0u);
+  std::fill(layer2_.begin(), layer2_.end(), 0ull);
+}
+
+}  // namespace flymon::sketch

@@ -1,0 +1,54 @@
+// Counter Braids (Lu et al., SIGMETRICS 2008): two-layer braided counters
+// with overflow carry from layer 1 to layer 2 and iterative message-passing
+// decoding toward zero-error per-flow counts.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "packet/flowkey.hpp"
+#include "sketch/sketch_common.hpp"
+
+namespace flymon::sketch {
+
+class CounterBraids {
+ public:
+  /// Layer 1: m1 counters of b1 bits, each flow hashes to d1 of them.
+  /// Layer 2: m2 counters of b2 bits, each layer-1 counter hashes to d2.
+  CounterBraids(std::uint32_t m1, unsigned b1, unsigned d1, std::uint32_t m2,
+                unsigned b2, unsigned d2);
+
+  /// Split `bytes` 7:1 between layers with the classic 8-bit/32-bit widths.
+  static CounterBraids with_memory(std::size_t bytes);
+
+  void update(KeyBytes key, std::uint32_t inc = 1);
+
+  /// Sketch-only upper-bound estimate (min over layer-1 counters, each
+  /// reconstructed as low bits + decoded carries x 2^b1).  Biased up under
+  /// collisions; decode() removes the bias given the flow list.
+  std::uint64_t query_upper_bound(KeyBytes key) const;
+
+  /// Full message-passing decode: given the complete list of flow keys,
+  /// iteratively reconcile flow estimates against both layers.  Returns the
+  /// per-flow estimates, exact when the braid load is feasible.
+  std::unordered_map<FlowKeyValue, std::uint64_t> decode(
+      const std::vector<FlowKeyValue>& flows, unsigned max_iterations = 50) const;
+
+  std::size_t memory_bytes() const noexcept;
+  void clear();
+
+ private:
+  std::vector<std::uint32_t> layer1_indices(KeyBytes key) const;
+  std::vector<std::uint32_t> layer2_indices(std::uint32_t l1_index) const;
+  /// Reconstructed full value of layer-1 counter i (low bits + carries).
+  std::vector<std::uint64_t> reconstruct_layer1(unsigned max_iterations) const;
+
+  std::uint32_t m1_, m2_;
+  unsigned b1_, d1_, b2_, d2_;
+  std::uint32_t cap1_;  // saturation/wrap point of layer-1 counters
+  std::vector<std::uint32_t> layer1_;
+  std::vector<std::uint64_t> layer2_;
+};
+
+}  // namespace flymon::sketch

@@ -1,0 +1,54 @@
+#include "sketch/hyperloglog.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace flymon::sketch {
+
+HyperLogLog::HyperLogLog(unsigned b) : b_(b) {
+  if (b < 2 || b > 20) throw std::invalid_argument("HyperLogLog: b must be 2..20");
+  regs_.assign(std::size_t{1} << b, 0u);
+}
+
+HyperLogLog HyperLogLog::with_memory(std::size_t bytes) {
+  const unsigned b = std::max(2u, log2_floor(std::max<std::size_t>(4, bytes)));
+  return HyperLogLog(std::min(20u, b));
+}
+
+void HyperLogLog::insert(KeyBytes key) {
+  const std::uint64_t h = hash64(key, 0x4C0Full);
+  const std::size_t idx = h >> (64 - b_);
+  const std::uint64_t rest = (h << b_) | (std::uint64_t{1} << (b_ - 1));  // sentinel
+  const std::uint8_t rho = static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
+  regs_[idx] = std::max(regs_[idx], rho);
+}
+
+double HyperLogLog::estimate() const {
+  const double m = static_cast<double>(regs_.size());
+  const double alpha = m <= 16 ? 0.673 : m <= 32 ? 0.697 : m <= 64 ? 0.709
+                                                        : 0.7213 / (1.0 + 1.079 / m);
+  double inv_sum = 0.0;
+  std::size_t zeros = 0;
+  for (std::uint8_t r : regs_) {
+    inv_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double e = alpha * m * m / inv_sum;
+  if (e <= 2.5 * m && zeros > 0) {
+    // Small-range correction: linear counting over empty registers.
+    e = m * std::log(m / static_cast<double>(zeros));
+  }
+  return e;
+}
+
+void HyperLogLog::clear() { std::fill(regs_.begin(), regs_.end(), 0u); }
+
+void HyperLogLog::load_register(std::size_t idx, std::uint8_t rho) {
+  regs_.at(idx) = std::max(regs_.at(idx), rho);
+}
+
+}  // namespace flymon::sketch

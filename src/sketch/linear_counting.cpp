@@ -1,0 +1,38 @@
+#include "sketch/linear_counting.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace flymon::sketch {
+
+LinearCounting::LinearCounting(std::uint64_t m_bits) : m_(m_bits) {
+  if (m_bits == 0) throw std::invalid_argument("LinearCounting: m must be > 0");
+  bits_.assign((m_bits + 63) / 64, 0ull);
+}
+
+LinearCounting LinearCounting::with_memory(std::size_t bytes) {
+  return LinearCounting(std::max<std::uint64_t>(64, std::uint64_t{bytes} * 8));
+}
+
+void LinearCounting::insert(KeyBytes key) {
+  load_bit(hash64(key, 0x11C0ull) % m_);
+}
+
+void LinearCounting::load_bit(std::uint64_t idx) {
+  bits_.at(idx >> 6) |= (1ull << (idx & 63));
+}
+
+double LinearCounting::estimate() const {
+  std::uint64_t set = 0;
+  for (std::uint64_t w : bits_) set += static_cast<std::uint64_t>(std::popcount(w));
+  const std::uint64_t zeros = m_ - set;
+  if (zeros == 0) return static_cast<double>(m_) * std::log(static_cast<double>(m_));
+  const double v = static_cast<double>(zeros) / static_cast<double>(m_);
+  return -static_cast<double>(m_) * std::log(v);
+}
+
+void LinearCounting::clear() { std::fill(bits_.begin(), bits_.end(), 0ull); }
+
+}  // namespace flymon::sketch

@@ -1,0 +1,34 @@
+// Linear Counting (Whang et al., 1990): cardinality from the zero-bit
+// fraction of a hashed bitmap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/sketch_common.hpp"
+
+namespace flymon::sketch {
+
+class LinearCounting {
+ public:
+  explicit LinearCounting(std::uint64_t m_bits);
+
+  static LinearCounting with_memory(std::size_t bytes);
+
+  void insert(KeyBytes key);
+  /// n-hat = -m * ln(V), V = fraction of zero bits.
+  double estimate() const;
+
+  std::uint64_t bit_count() const noexcept { return m_; }
+  std::size_t memory_bytes() const noexcept { return bits_.size() * 8; }
+  void clear();
+
+  /// Load a raw bit collected by a FlyMon CMU register.
+  void load_bit(std::uint64_t idx);
+
+ private:
+  std::uint64_t m_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace flymon::sketch

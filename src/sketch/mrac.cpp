@@ -1,0 +1,134 @@
+#include "sketch/mrac.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace flymon::sketch {
+
+Mrac::Mrac(std::uint32_t m) {
+  if (m == 0) throw std::invalid_argument("Mrac: m must be > 0");
+  cells_.assign(m, 0u);
+}
+
+Mrac Mrac::with_memory(std::size_t bytes) {
+  return Mrac(static_cast<std::uint32_t>(std::max<std::size_t>(1, bytes / 4)));
+}
+
+void Mrac::update(KeyBytes key, std::uint32_t inc) {
+  auto& c = cells_[row_hash(key, 0, 0x33AACull) % cells_.size()];
+  const std::uint64_t sum = std::uint64_t{c} + inc;
+  c = sum > std::numeric_limits<std::uint32_t>::max()
+          ? std::numeric_limits<std::uint32_t>::max()
+          : static_cast<std::uint32_t>(sum);
+}
+
+void Mrac::load_counter(std::size_t idx, std::uint32_t value) { cells_.at(idx) = value; }
+
+void Mrac::clear() { std::fill(cells_.begin(), cells_.end(), 0u); }
+
+double Mrac::estimate_flow_count() const {
+  const double m = static_cast<double>(cells_.size());
+  std::size_t zeros = 0;
+  for (std::uint32_t c : cells_) zeros += (c == 0);
+  if (zeros == 0) return m * std::log(m);  // saturated; best effort
+  return m * std::log(m / static_cast<double>(zeros));
+}
+
+std::map<std::uint32_t, double> Mrac::estimate_size_distribution(
+    unsigned em_iterations, std::uint32_t max_split_value) const {
+  // Histogram of non-zero counter values.
+  std::map<std::uint32_t, std::uint64_t> hist;
+  for (std::uint32_t c : cells_) {
+    if (c > 0) ++hist[c];
+  }
+  if (hist.empty()) return {};
+
+  const double n_hat = std::max(1.0, estimate_flow_count());
+  const double lambda = n_hat / static_cast<double>(cells_.size());
+  // A non-empty counter holds 1 flow w.p. p1, 2 flows w.p. p2 (truncated
+  // Poisson; 3+ collisions ignored — negligible when lambda << 1).
+  const double pois1 = lambda * std::exp(-lambda);
+  const double pois2 = lambda * lambda / 2.0 * std::exp(-lambda);
+  const double p2_prior = pois2 / (pois1 + pois2);
+
+  // phi[s] = probability a random flow has size s.
+  std::map<std::uint32_t, double> phi;
+  double norm = 0;
+  for (const auto& [v, cnt] : hist) {
+    phi[v] += static_cast<double>(cnt);
+    norm += static_cast<double>(cnt);
+  }
+  for (auto& [s, w] : phi) w /= norm;
+
+  for (unsigned iter = 0; iter < em_iterations; ++iter) {
+    std::map<std::uint32_t, double> next;  // expected flow counts per size
+    for (const auto& [v, cnt] : hist) {
+      const double weight = static_cast<double>(cnt);
+      if (v > max_split_value || v < 2) {
+        next[v] += weight;
+        continue;
+      }
+      // Probability mass of all 2-way splits a + (v-a) = v.
+      double split_mass = 0;
+      for (std::uint32_t a = 1; a <= v / 2; ++a) {
+        const auto ia = phi.find(a);
+        const auto ib = phi.find(v - a);
+        if (ia != phi.end() && ib != phi.end()) split_mass += ia->second * ib->second;
+      }
+      const auto iv = phi.find(v);
+      const double single_mass = iv != phi.end() ? iv->second : 0.0;
+      const double w2 = p2_prior * split_mass;
+      const double w1 = (1.0 - p2_prior) * single_mass;
+      const double total = w1 + w2;
+      if (total <= 0) {
+        next[v] += weight;
+        continue;
+      }
+      next[v] += weight * (w1 / total);
+      if (w2 > 0) {
+        for (std::uint32_t a = 1; a <= v / 2; ++a) {
+          const auto ia = phi.find(a);
+          const auto ib = phi.find(v - a);
+          if (ia == phi.end() || ib == phi.end()) continue;
+          const double frac =
+              weight * (w2 / total) * (ia->second * ib->second) / split_mass;
+          next[a] += frac;
+          next[v - a] += frac;
+        }
+      }
+    }
+    // M step: renormalise into phi.
+    double total_flows = 0;
+    for (const auto& [s, w] : next) total_flows += w;
+    phi.clear();
+    for (const auto& [s, w] : next) {
+      if (w > 1e-12) phi[s] = w / total_flows;
+    }
+  }
+
+  // Scale probabilities to estimated flow counts.
+  std::map<std::uint32_t, double> dist;
+  for (const auto& [s, w] : phi) dist[s] = w * n_hat;
+  return dist;
+}
+
+double Mrac::entropy_of_distribution(const std::map<std::uint32_t, double>& dist) {
+  double total_pkts = 0;
+  for (const auto& [s, n] : dist) total_pkts += n * static_cast<double>(s);
+  if (total_pkts <= 0) return 0;
+  double h = 0;
+  for (const auto& [s, n] : dist) {
+    if (s == 0 || n <= 0) continue;
+    const double p = static_cast<double>(s) / total_pkts;
+    h -= n * p * std::log(p);
+  }
+  return h;
+}
+
+double Mrac::estimate_entropy(unsigned em_iterations) const {
+  return entropy_of_distribution(estimate_size_distribution(em_iterations));
+}
+
+}  // namespace flymon::sketch

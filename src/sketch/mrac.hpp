@@ -1,0 +1,54 @@
+// MRAC (Kumar et al., SIGMETRICS 2004): single hashed counter array whose
+// counter-value histogram is post-processed (EM) into a flow-size
+// distribution, from which flow entropy is derived.
+//
+// Data-plane side is identical to a 1-row Count-Min (the paper notes MRAC
+// and CMS differ only in control-plane analysis); the value is in the
+// estimator below.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sketch/sketch_common.hpp"
+
+namespace flymon::sketch {
+
+class Mrac {
+ public:
+  explicit Mrac(std::uint32_t m);
+
+  static Mrac with_memory(std::size_t bytes);
+
+  void update(KeyBytes key, std::uint32_t inc = 1);
+
+  std::uint32_t width() const noexcept { return static_cast<std::uint32_t>(cells_.size()); }
+  std::size_t memory_bytes() const noexcept { return cells_.size() * 4; }
+  const std::vector<std::uint32_t>& counters() const noexcept { return cells_; }
+  void clear();
+
+  /// Load a raw counter collected from a FlyMon CMU register.
+  void load_counter(std::size_t idx, std::uint32_t value);
+
+  /// Estimated number of flows (linear counting over zero counters).
+  double estimate_flow_count() const;
+
+  /// EM-estimated flow-size distribution: size -> estimated #flows.
+  /// `max_split_value` caps the counter values considered for 2-way
+  /// collision splitting (larger counters are treated as single flows —
+  /// with m >> n, 3+ way collisions are negligible).
+  std::map<std::uint32_t, double> estimate_size_distribution(
+      unsigned em_iterations = 20, std::uint32_t max_split_value = 512) const;
+
+  /// Entropy (nats) of the estimated per-flow packet distribution.
+  double estimate_entropy(unsigned em_iterations = 20) const;
+
+  /// Entropy of an exact size distribution (shared helper for baselines).
+  static double entropy_of_distribution(const std::map<std::uint32_t, double>& dist);
+
+ private:
+  std::vector<std::uint32_t> cells_;
+};
+
+}  // namespace flymon::sketch

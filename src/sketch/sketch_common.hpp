@@ -1,0 +1,24 @@
+// Shared definitions for the baseline (software, idealised) sketches.
+//
+// These are the reference algorithms the paper compares FlyMon against
+// (UnivMon, original BeauCoup, ...) and the textbook forms of the built-in
+// algorithms.  They hash the *full* flow key with high-quality 64-bit
+// hashes — unlike FlyMon's data-plane versions, which operate on 32-bit
+// compressed keys through the CMU pipeline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/hash.hpp"
+
+namespace flymon::sketch {
+
+using KeyBytes = std::span<const std::uint8_t>;
+
+/// Row-seeded hash for d-row sketches.
+inline std::uint64_t row_hash(KeyBytes key, unsigned row, std::uint64_t salt = 0) noexcept {
+  return hash64(key, 0xA5A5'0000ull + row * 0x9E37ull + salt);
+}
+
+}  // namespace flymon::sketch

@@ -1,0 +1,58 @@
+#include "sketch/sumax.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace flymon::sketch {
+
+SuMax::SuMax(SuMaxMode mode, unsigned d, std::uint32_t w) : mode_(mode), d_(d), w_(w) {
+  if (d == 0 || w == 0) throw std::invalid_argument("SuMax: d and w must be > 0");
+  cells_.assign(std::size_t{d} * w, 0u);
+}
+
+SuMax SuMax::with_memory(SuMaxMode mode, unsigned d, std::size_t bytes) {
+  const std::size_t w = bytes / (std::size_t{4} * d);
+  return SuMax(mode, d, static_cast<std::uint32_t>(std::max<std::size_t>(1, w)));
+}
+
+void SuMax::update(KeyBytes key, std::uint32_t v) {
+  std::uint32_t idx[16];
+  for (unsigned r = 0; r < d_; ++r) {
+    idx[r] = static_cast<std::uint32_t>(row_hash(key, r, 0x50AAull) % w_);
+  }
+  if (mode_ == SuMaxMode::kMax) {
+    for (unsigned r = 0; r < d_; ++r) {
+      auto& c = cells_[std::size_t{r} * w_ + idx[r]];
+      c = std::max(c, v);
+    }
+    return;
+  }
+  // Sum mode: approximate conservative update — only grow the row counters
+  // that currently hold the minimum.
+  std::uint32_t cur_min = std::numeric_limits<std::uint32_t>::max();
+  for (unsigned r = 0; r < d_; ++r) {
+    cur_min = std::min(cur_min, cells_[std::size_t{r} * w_ + idx[r]]);
+  }
+  for (unsigned r = 0; r < d_; ++r) {
+    auto& c = cells_[std::size_t{r} * w_ + idx[r]];
+    if (c == cur_min) {
+      const std::uint64_t sum = std::uint64_t{c} + v;
+      c = sum > std::numeric_limits<std::uint32_t>::max()
+              ? std::numeric_limits<std::uint32_t>::max()
+              : static_cast<std::uint32_t>(sum);
+    }
+  }
+}
+
+std::uint32_t SuMax::query(KeyBytes key) const {
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  for (unsigned r = 0; r < d_; ++r) {
+    best = std::min(best, cells_[std::size_t{r} * w_ + row_hash(key, r, 0x50AAull) % w_]);
+  }
+  return best;
+}
+
+void SuMax::clear() { std::fill(cells_.begin(), cells_.end(), 0u); }
+
+}  // namespace flymon::sketch

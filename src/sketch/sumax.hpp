@@ -1,0 +1,41 @@
+// SuMax (from LightGuardian, NSDI 2021): d-row sketch with an approximate
+// conservative-update Sum mode and a Max mode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/sketch_common.hpp"
+
+namespace flymon::sketch {
+
+enum class SuMaxMode : std::uint8_t { kSum, kMax };
+
+class SuMax {
+ public:
+  SuMax(SuMaxMode mode, unsigned d, std::uint32_t w);
+
+  static SuMax with_memory(SuMaxMode mode, unsigned d, std::size_t bytes);
+
+  /// Sum mode: add `v` only to the row counters currently holding the
+  /// minimum among the flow's d counters (approximate conservative update).
+  /// Max mode: raise each row counter to max(counter, v).
+  void update(KeyBytes key, std::uint32_t v);
+
+  /// Min across rows (both modes).
+  std::uint32_t query(KeyBytes key) const;
+
+  SuMaxMode mode() const noexcept { return mode_; }
+  unsigned depth() const noexcept { return d_; }
+  std::uint32_t width() const noexcept { return w_; }
+  std::size_t memory_bytes() const noexcept { return std::size_t{d_} * w_ * 4; }
+  void clear();
+
+ private:
+  SuMaxMode mode_;
+  unsigned d_;
+  std::uint32_t w_;
+  std::vector<std::uint32_t> cells_;
+};
+
+}  // namespace flymon::sketch

@@ -1,0 +1,55 @@
+#include "sketch/tower.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace flymon::sketch {
+
+TowerSketch::TowerSketch(std::vector<unsigned> level_bits, std::size_t total_bytes)
+    : level_bits_(std::move(level_bits)) {
+  if (level_bits_.empty()) throw std::invalid_argument("TowerSketch: no levels");
+  const std::size_t bytes_per_level = std::max<std::size_t>(4, total_bytes / level_bits_.size());
+  for (unsigned bits : level_bits_) {
+    if (bits == 0 || bits > 32) throw std::invalid_argument("TowerSketch: counter width");
+    const std::uint64_t w = std::max<std::uint64_t>(1, bytes_per_level * 8 / bits);
+    level_width_.push_back(static_cast<std::uint32_t>(w));
+    cells_.emplace_back(w, 0u);
+    memory_bytes_ += static_cast<std::size_t>(w) * bits / 8;
+  }
+}
+
+void TowerSketch::update(KeyBytes key, std::uint32_t inc) {
+  for (std::size_t l = 0; l < cells_.size(); ++l) {
+    const std::uint32_t cap = low_mask32(level_bits_[l]);
+    auto& c = cells_[l][row_hash(key, static_cast<unsigned>(l), 0x70ull) % level_width_[l]];
+    const std::uint64_t sum = std::uint64_t{c} + inc;
+    c = sum >= cap ? cap : static_cast<std::uint32_t>(sum);  // saturate
+  }
+}
+
+std::uint32_t TowerSketch::query(KeyBytes key) const {
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  bool found = false;
+  std::uint32_t max_saturated = 0;
+  for (std::size_t l = 0; l < cells_.size(); ++l) {
+    const std::uint32_t cap = low_mask32(level_bits_[l]);
+    const std::uint32_t v =
+        cells_[l][row_hash(key, static_cast<unsigned>(l), 0x70ull) % level_width_[l]];
+    if (v < cap) {
+      best = std::min(best, v);
+      found = true;
+    } else {
+      max_saturated = std::max(max_saturated, cap);
+    }
+  }
+  return found ? best : max_saturated;
+}
+
+void TowerSketch::clear() {
+  for (auto& lvl : cells_) std::fill(lvl.begin(), lvl.end(), 0u);
+}
+
+}  // namespace flymon::sketch

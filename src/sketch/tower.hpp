@@ -1,0 +1,34 @@
+// TowerSketch (Yang et al., SketchINT 2021): layered counter arrays where
+// lower layers hold many small counters (mice) and higher layers hold fewer
+// wide counters (elephants).  Query is the minimum over non-saturated
+// counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/sketch_common.hpp"
+
+namespace flymon::sketch {
+
+class TowerSketch {
+ public:
+  /// One level per entry of `level_bits` (counter widths, e.g. {8,16,32});
+  /// each level receives the same share of `total_bytes`.
+  TowerSketch(std::vector<unsigned> level_bits, std::size_t total_bytes);
+
+  void update(KeyBytes key, std::uint32_t inc = 1);
+  std::uint32_t query(KeyBytes key) const;
+
+  std::size_t memory_bytes() const noexcept { return memory_bytes_; }
+  unsigned levels() const noexcept { return static_cast<unsigned>(level_bits_.size()); }
+  void clear();
+
+ private:
+  std::vector<unsigned> level_bits_;
+  std::vector<std::uint32_t> level_width_;      // counters per level
+  std::vector<std::vector<std::uint32_t>> cells_;
+  std::size_t memory_bytes_ = 0;
+};
+
+}  // namespace flymon::sketch

@@ -1,0 +1,145 @@
+#include "sketch/univmon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flymon::sketch {
+namespace {
+
+sketch::KeyBytes bytes_of(const FlowKeyValue& k) noexcept {
+  return {k.bytes.data(), k.bytes.size()};
+}
+
+}  // namespace
+
+UnivMon::UnivMon(unsigned levels, unsigned cs_depth, std::uint32_t cs_width,
+                 unsigned top_k)
+    : top_k_(top_k) {
+  if (levels == 0) throw std::invalid_argument("UnivMon: levels must be > 0");
+  levels_.reserve(levels);
+  for (unsigned l = 0; l < levels; ++l) levels_.emplace_back(CountSketch(cs_depth, cs_width));
+}
+
+UnivMon UnivMon::with_memory(std::size_t total_bytes, unsigned levels,
+                             unsigned cs_depth, unsigned top_k) {
+  // Budget: top-k tables cost ~(key + estimate) = 25 B per entry per level.
+  // Cap top-k so the tables take at most a quarter of the budget.
+  const std::size_t topk_cap = total_bytes / (4 * std::size_t{levels} * 25);
+  top_k = static_cast<unsigned>(
+      std::clamp<std::size_t>(topk_cap, 32, top_k));
+  const std::size_t topk_bytes = std::size_t{levels} * top_k * 25;
+  const std::size_t cs_total = total_bytes > topk_bytes ? total_bytes - topk_bytes : levels;
+  const std::size_t per_level = std::max<std::size_t>(cs_depth * 4, cs_total / levels);
+  const auto w = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, per_level / (std::size_t{cs_depth} * 4)));
+  return UnivMon(levels, cs_depth, w, top_k);
+}
+
+bool UnivMon::sampled_at(const FlowKeyValue& key, unsigned level) const noexcept {
+  if (level == 0) return true;
+  const std::uint64_t h = hash64(bytes_of(key), 0x5A3Bull);
+  const std::uint64_t mask = (std::uint64_t{1} << level) - 1;
+  return (h & mask) == 0;
+}
+
+void UnivMon::track_top(Level& lvl, const FlowKeyValue& key) {
+  const std::int64_t est = std::max<std::int64_t>(0, lvl.cs.query(bytes_of(key)));
+  auto it = lvl.top.find(key);
+  if (it != lvl.top.end()) {
+    it->second = est;
+    if (est < lvl.cached_min) lvl.cached_min = est;  // keep the lower bound
+    return;
+  }
+  if (lvl.top.size() < top_k_) {
+    lvl.top.emplace(key, est);
+    return;
+  }
+  // Fast reject: cached_min is a lower bound on the true minimum, so a
+  // candidate at or below it can never displace anyone.
+  if (est <= lvl.cached_min) return;
+  auto min_it = lvl.top.begin();
+  std::int64_t second_min = std::numeric_limits<std::int64_t>::max();
+  for (auto i = lvl.top.begin(); i != lvl.top.end(); ++i) {
+    if (i->second < min_it->second) {
+      second_min = min_it->second;
+      min_it = i;
+    } else if (i->second < second_min) {
+      second_min = i->second;
+    }
+  }
+  if (est > min_it->second) {
+    lvl.top.erase(min_it);
+    lvl.top.emplace(key, est);
+    lvl.cached_min = std::min(second_min, est);
+  } else {
+    lvl.cached_min = min_it->second;
+  }
+}
+
+void UnivMon::update(const FlowKeyValue& key, std::uint32_t inc) {
+  total_ += inc;
+  for (unsigned l = 0; l < levels_.size(); ++l) {
+    if (!sampled_at(key, l)) break;  // nested sampling: stop at first miss
+    levels_[l].cs.update(bytes_of(key), inc);
+    track_top(levels_[l], key);
+  }
+}
+
+double UnivMon::g_sum(const std::function<double(double)>& g) const {
+  // Recursive estimator (UnivMon §4): Y_L = sum of g over level-L HHs;
+  // Y_l = 2 Y_{l+1} + sum_{HH at l} (1 - 2 * sampled_{l+1}(key)) * g(est).
+  const unsigned L = static_cast<unsigned>(levels_.size());
+  double y = 0;
+  for (const auto& [key, est] : levels_[L - 1].top) {
+    if (est > 0) y += g(static_cast<double>(est));
+  }
+  for (int l = static_cast<int>(L) - 2; l >= 0; --l) {
+    double yl = 2.0 * y;
+    for (const auto& [key, est] : levels_[l].top) {
+      if (est <= 0) continue;
+      const double indicator = sampled_at(key, static_cast<unsigned>(l) + 1) ? 1.0 : 0.0;
+      yl += (1.0 - 2.0 * indicator) * g(static_cast<double>(est));
+    }
+    y = std::max(0.0, yl);
+  }
+  return y;
+}
+
+double UnivMon::estimate_entropy() const {
+  if (total_ == 0) return 0;
+  const double n = static_cast<double>(total_);
+  const double y = g_sum([](double x) { return x * std::log(x); });
+  return std::log(n) - y / n;
+}
+
+double UnivMon::estimate_cardinality() const {
+  return g_sum([](double) { return 1.0; });
+}
+
+std::vector<std::pair<FlowKeyValue, std::uint64_t>> UnivMon::heavy_hitters(
+    std::uint64_t threshold) const {
+  std::vector<std::pair<FlowKeyValue, std::uint64_t>> out;
+  for (const auto& [key, est] : levels_[0].top) {
+    if (est >= static_cast<std::int64_t>(threshold)) {
+      out.emplace_back(key, static_cast<std::uint64_t>(est));
+    }
+  }
+  return out;
+}
+
+std::size_t UnivMon::memory_bytes() const noexcept {
+  std::size_t s = 0;
+  for (const auto& lvl : levels_) s += lvl.cs.memory_bytes() + lvl.top.size() * 25;
+  return s;
+}
+
+void UnivMon::clear() {
+  for (auto& lvl : levels_) {
+    lvl.cs.clear();
+    lvl.top.clear();
+  }
+  total_ = 0;
+}
+
+}  // namespace flymon::sketch

@@ -1,0 +1,160 @@
+// Tests for the cross-stacking planner, static-deployment model and
+// forwarding simulator.
+#include <gtest/gtest.h>
+
+#include "control/crossstack.hpp"
+#include "control/forwarding_sim.hpp"
+#include "control/static_deploy.hpp"
+#include "dataplane/tofino_model.hpp"
+
+namespace flymon::control {
+namespace {
+
+using dataplane::Resource;
+using dataplane::TofinoModel;
+
+TEST(CrossStack, NineGroupsInTwelveStages) {
+  const auto plan = cross_stack(12);
+  EXPECT_EQ(plan.groups_placed, 9u);
+}
+
+TEST(CrossStack, PaperUtilizationNumbers) {
+  const auto plan = cross_stack(12);
+  EXPECT_NEAR(plan.pipeline.utilization(Resource::kHashUnit), 0.75, 1e-9);
+  EXPECT_NEAR(plan.pipeline.utilization(Resource::kSalu), 0.5625, 1e-9);
+}
+
+TEST(CrossStack, UtilizationGrowsWithStages) {
+  double prev = 0;
+  for (unsigned stages : {4u, 6u, 8u, 10u, 12u}) {
+    const auto plan = cross_stack(stages);
+    const double u = plan.pipeline.utilization(Resource::kHashUnit);
+    EXPECT_GE(u, prev);
+    prev = u;
+  }
+}
+
+TEST(CrossStack, FewerThanFourStagesPlacesNothing) {
+  EXPECT_EQ(cross_stack(3).groups_placed, 0u);
+  EXPECT_EQ(cross_stack(4).groups_placed, 1u);
+}
+
+TEST(CrossStack, SequentialIsWorse) {
+  EXPECT_EQ(sequential_stack(12).groups_placed, 3u);
+  EXPECT_LT(sequential_stack(12).groups_placed, cross_stack(12).groups_placed);
+}
+
+TEST(CrossStack, BaselineReducesCapacity) {
+  const auto free_plan = cross_stack(12);
+  const auto loaded = cross_stack(12, CmuGroupConfig{}, switch_p4_baseline_per_stage(),
+                                  switch_p4_baseline_phv_bits());
+  EXPECT_LT(loaded.groups_placed, free_plan.groups_placed);
+  EXPECT_GE(loaded.groups_placed, 3u) << "paper: more than 3 groups fit switch.p4";
+}
+
+TEST(CrossStack, StartStagesAreDiagonal) {
+  const auto plan = cross_stack(12);
+  for (std::size_t i = 0; i < plan.start_stage.size(); ++i) {
+    EXPECT_EQ(plan.start_stage[i], i) << "shift-one-stage placement";
+  }
+}
+
+TEST(KeyScalability, CompressionWinsForLargeKeys) {
+  const unsigned budget = TofinoModel::kPhvBits / 2;
+  const unsigned without = max_cmus_without_compression(360, budget, 12);
+  const unsigned with = max_cmus_with_compression(360, budget, 12);
+  EXPECT_GE(with, 5 * without) << "paper: ~5x at 350-bit keys";
+  EXPECT_EQ(with, 27u) << "9 groups x 3 CMUs";
+}
+
+TEST(KeyScalability, WithoutCompressionShrinksWithKeySize) {
+  const unsigned budget = TofinoModel::kPhvBits / 2;
+  unsigned prev = ~0u;
+  for (unsigned bits : {32u, 64u, 104u, 360u}) {
+    const unsigned n = max_cmus_without_compression(bits, budget, 12);
+    EXPECT_LE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(StaticDeploy, Fig2FootprintsSane) {
+  const auto sketches = fig2_sketches();
+  ASSERT_EQ(sketches.size(), 4u);
+  for (const auto& s : sketches) {
+    EXPECT_GT(s.rows, 0u);
+    const auto d = s.row_demand();
+    EXPECT_GT(d[Resource::kHashUnit], 0u);
+    EXPECT_EQ(d[Resource::kSalu], 1u);
+  }
+}
+
+TEST(StaticDeploy, InstancesBoundedWithBaseline) {
+  const unsigned n = max_static_instances(fig2_sketches(), 12,
+                                          switch_p4_baseline_per_stage(),
+                                          switch_p4_baseline_phv_bits());
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 12u) << "static deployment hits a wall within ~a dozen sketches";
+}
+
+TEST(StaticDeploy, MoreRoomWithoutBaseline) {
+  const unsigned with_baseline = max_static_instances(
+      fig2_sketches(), 12, switch_p4_baseline_per_stage(), switch_p4_baseline_phv_bits());
+  const unsigned without =
+      max_static_instances(fig2_sketches(), 12, dataplane::StageDemand{}, 0);
+  EXPECT_GT(without, with_baseline);
+}
+
+TEST(ForwardingSim, PaperSchedule) {
+  const auto events = paper_event_schedule();
+  ASSERT_EQ(events.size(), 9u);
+  EXPECT_DOUBLE_EQ(events[0].time_s, 5.0);
+  EXPECT_DOUBLE_EQ(events[8].time_s, 85.0);
+}
+
+TEST(ForwardingSim, FlyMonNeverStalls) {
+  ForwardingSimConfig cfg;
+  const auto r = simulate_forwarding(cfg, paper_event_schedule());
+  EXPECT_DOUBLE_EQ(r.flymon_outage_s, 0.0);
+  for (const auto& s : r.samples) EXPECT_GT(s.flymon_gbps, 0.0);
+}
+
+TEST(ForwardingSim, StaticStallsPerReload) {
+  ForwardingSimConfig cfg;
+  const auto r = simulate_forwarding(cfg, paper_event_schedule());
+  EXPECT_EQ(r.static_reloads, 3u) << "6 critical events batched two-per-reload";
+  EXPECT_GE(r.static_outage_s, 3 * cfg.reload_outage_min_s);
+  EXPECT_LE(r.static_outage_s, 3 * cfg.reload_outage_max_s);
+  bool any_zero = false;
+  for (const auto& s : r.samples) any_zero |= (s.static_gbps == 0.0);
+  EXPECT_TRUE(any_zero);
+}
+
+TEST(ForwardingSim, DeterministicBySeed) {
+  ForwardingSimConfig cfg;
+  const auto a = simulate_forwarding(cfg, paper_event_schedule());
+  const auto b = simulate_forwarding(cfg, paper_event_schedule());
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  EXPECT_DOUBLE_EQ(a.static_outage_s, b.static_outage_s);
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i].flymon_gbps, b.samples[i].flymon_gbps);
+  }
+}
+
+TEST(ForwardingSim, NoEventsNoOutage) {
+  ForwardingSimConfig cfg;
+  const auto r = simulate_forwarding(cfg, {});
+  EXPECT_DOUBLE_EQ(r.static_outage_s, 0.0);
+  EXPECT_EQ(r.static_reloads, 0u);
+}
+
+TEST(RuleInstallModel, BatchingAmortizes) {
+  using dataplane::RuleInstallModel;
+  EXPECT_DOUBLE_EQ(RuleInstallModel::batched_ms(3.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(RuleInstallModel::batched_ms(3.0, 1), 3.0);
+  const double ten = RuleInstallModel::batched_ms(3.0, 10);
+  EXPECT_LT(ten, 30.0) << "batched rules must cost less than sequential";
+  EXPECT_GT(ten, 3.0);
+}
+
+}  // namespace
+}  // namespace flymon::control

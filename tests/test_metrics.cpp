@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.hpp"
+
+namespace flymon::analysis {
+namespace {
+
+FlowKeyValue k(std::uint8_t id) {
+  FlowKeyValue v;
+  v.bytes[0] = id;
+  return v;
+}
+
+TEST(Metrics, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(100, 110), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(100, 90), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(0, 5), 1.0);
+}
+
+TEST(Metrics, AverageRelativeError) {
+  EXPECT_DOUBLE_EQ(average_relative_error({}), 0.0);
+  EXPECT_DOUBLE_EQ(average_relative_error({{100, 110}, {100, 130}}), 0.2);
+  // Zero-truth pairs are skipped.
+  EXPECT_DOUBLE_EQ(average_relative_error({{0, 10}, {100, 110}}), 0.1);
+}
+
+TEST(Metrics, PrecisionRecallF1) {
+  ClassificationScore s;
+  s.true_positives = 8;
+  s.false_positives = 2;
+  s.false_negatives = 2;
+  EXPECT_DOUBLE_EQ(s.precision(), 0.8);
+  EXPECT_DOUBLE_EQ(s.recall(), 0.8);
+  EXPECT_DOUBLE_EQ(s.f1(), 0.8);
+}
+
+TEST(Metrics, F1EdgeCases) {
+  ClassificationScore empty;
+  EXPECT_DOUBLE_EQ(empty.f1(), 0.0);
+  ClassificationScore perfect;
+  perfect.true_positives = 5;
+  EXPECT_DOUBLE_EQ(perfect.f1(), 1.0);
+}
+
+TEST(Metrics, ScoreDetection) {
+  const std::vector<FlowKeyValue> truth = {k(1), k(2), k(3)};
+  const std::vector<FlowKeyValue> reported = {k(2), k(3), k(4)};
+  const auto s = score_detection(truth, reported);
+  EXPECT_EQ(s.true_positives, 2u);
+  EXPECT_EQ(s.false_positives, 1u);
+  EXPECT_EQ(s.false_negatives, 1u);
+}
+
+TEST(Metrics, ScoreDetectionDedupesReports) {
+  const std::vector<FlowKeyValue> truth = {k(1)};
+  const std::vector<FlowKeyValue> reported = {k(1), k(1), k(1)};
+  const auto s = score_detection(truth, reported);
+  EXPECT_EQ(s.true_positives, 1u);
+  EXPECT_EQ(s.false_positives, 0u);
+}
+
+TEST(Metrics, PerfectAndEmptyDetection) {
+  const std::vector<FlowKeyValue> truth = {k(1), k(2)};
+  EXPECT_DOUBLE_EQ(score_detection(truth, truth).f1(), 1.0);
+  EXPECT_DOUBLE_EQ(score_detection(truth, {}).f1(), 0.0);
+  EXPECT_DOUBLE_EQ(score_detection({}, {}).f1(), 0.0);
+}
+
+TEST(Metrics, FalsePositiveRate) {
+  EXPECT_DOUBLE_EQ(false_positive_rate(5, 100), 0.05);
+  EXPECT_DOUBLE_EQ(false_positive_rate(0, 0), 0.0);
+}
+
+TEST(Metrics, FrequencyAreHelper) {
+  FreqMap truth;
+  truth[k(1)] = 100;
+  truth[k(2)] = 200;
+  const double are = frequency_are(truth, [](const FlowKeyValue& key) {
+    return key.bytes[0] == 1 ? 110.0 : 200.0;
+  });
+  EXPECT_DOUBLE_EQ(are, 0.05);
+}
+
+}  // namespace
+}  // namespace flymon::analysis

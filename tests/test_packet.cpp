@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "packet/exact.hpp"
+#include "packet/flowkey.hpp"
+#include "packet/packet.hpp"
+
+namespace flymon {
+namespace {
+
+Packet sample_packet() {
+  Packet p;
+  p.ft = FiveTuple{0x0A01'0203, 0xC0A8'0102, 443, 51000, 6};
+  p.wire_bytes = 1200;
+  p.ts_ns = 123'456'789;
+  return p;
+}
+
+TEST(Packet, CandidateKeyLayout) {
+  const Packet p = sample_packet();
+  const CandidateKey k = serialize_candidate_key(p);
+  EXPECT_EQ(k[0], 0x0A);  // SrcIP big-endian
+  EXPECT_EQ(k[1], 0x01);
+  EXPECT_EQ(k[2], 0x02);
+  EXPECT_EQ(k[3], 0x03);
+  EXPECT_EQ(k[4], 0xC0);  // DstIP
+  EXPECT_EQ(k[8], 443 >> 8);
+  EXPECT_EQ(k[9], 443 & 0xFF);
+  EXPECT_EQ(k[12], 6);
+}
+
+TEST(Packet, RoundTripThroughCandidateKey) {
+  const Packet p = sample_packet();
+  const Packet q = packet_from_candidate_key(serialize_candidate_key(p));
+  EXPECT_EQ(q.ft, p.ft);
+  // Timestamp round-trips at kTsShift granularity.
+  EXPECT_EQ(q.ts_ns >> kTsShift, p.ts_ns >> kTsShift);
+}
+
+TEST(FlowKeySpec, TotalBits) {
+  EXPECT_EQ(FlowKeySpec::src_ip().total_bits(), 32u);
+  EXPECT_EQ(FlowKeySpec::src_ip(24).total_bits(), 24u);
+  EXPECT_EQ(FlowKeySpec::ip_pair().total_bits(), 64u);
+  EXPECT_EQ(FlowKeySpec::five_tuple().total_bits(), 104u);
+  EXPECT_TRUE(FlowKeySpec{}.empty());
+}
+
+TEST(FlowKeySpec, Names) {
+  EXPECT_EQ(FlowKeySpec::src_ip().name(), "SrcIP");
+  EXPECT_EQ(FlowKeySpec::src_ip(24).name(), "SrcIP/24");
+  EXPECT_EQ(FlowKeySpec::ip_pair().name(), "SrcIP+DstIP");
+  EXPECT_EQ(FlowKeySpec{}.name(), "<empty>");
+}
+
+TEST(FlowKeySpec, FullFieldMask) {
+  const CandidateKey m = FlowKeySpec::src_ip().mask();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(m[i], 0xFF);
+  for (std::size_t i = 4; i < kCandidateKeyBytes; ++i) EXPECT_EQ(m[i], 0x00);
+}
+
+TEST(FlowKeySpec, PrefixMask) {
+  const CandidateKey m = FlowKeySpec::src_ip(20).mask();
+  EXPECT_EQ(m[0], 0xFF);
+  EXPECT_EQ(m[1], 0xFF);
+  EXPECT_EQ(m[2], 0xF0);  // 4 bits of the third byte
+  EXPECT_EQ(m[3], 0x00);
+}
+
+TEST(FlowKey, ExtractMasksNonKeyFields) {
+  const Packet p = sample_packet();
+  const FlowKeyValue k = extract_flow_key(p, FlowKeySpec::src_ip());
+  EXPECT_EQ(k.bytes[0], 0x0A);
+  EXPECT_EQ(k.bytes[4], 0x00);  // DstIP masked out
+  EXPECT_EQ(k.bytes[12], 0x00);
+}
+
+TEST(FlowKey, PrefixGroupsNearbyAddresses) {
+  Packet a = sample_packet();
+  Packet b = sample_packet();
+  b.ft.src_ip = a.ft.src_ip ^ 0x1;  // same /24, different host
+  EXPECT_NE(extract_flow_key(a, FlowKeySpec::src_ip()),
+            extract_flow_key(b, FlowKeySpec::src_ip()));
+  EXPECT_EQ(extract_flow_key(a, FlowKeySpec::src_ip(24)),
+            extract_flow_key(b, FlowKeySpec::src_ip(24)));
+}
+
+TEST(FlowKey, HashUsableInContainers) {
+  const Packet p = sample_packet();
+  const FlowKeyValue a = extract_flow_key(p, FlowKeySpec::five_tuple());
+  const FlowKeyValue b = extract_flow_key(p, FlowKeySpec::five_tuple());
+  EXPECT_EQ(std::hash<FlowKeyValue>{}(a), std::hash<FlowKeyValue>{}(b));
+}
+
+TEST(MetaField, ReadMeta) {
+  const Packet p = sample_packet();
+  EXPECT_EQ(read_meta(p, MetaField::kOne), 1u);
+  EXPECT_EQ(read_meta(p, MetaField::kWireBytes), 1200u);
+  EXPECT_EQ(read_meta(p, MetaField::kTimestamp), p.ts_ns >> kTsShift);
+}
+
+class PrefixSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixSweep, MaskHasExactlyPrefixBits) {
+  const auto bits = static_cast<std::uint8_t>(GetParam());
+  const CandidateKey m = FlowKeySpec::src_ip(bits).mask();
+  unsigned set = 0;
+  for (int i = 0; i < 4; ++i) set += static_cast<unsigned>(std::popcount(m[i]));
+  EXPECT_EQ(set, bits);
+  // Prefix property: set bits are contiguous from the MSB.
+  std::uint32_t v = (std::uint32_t{m[0]} << 24) | (std::uint32_t{m[1]} << 16) |
+                    (std::uint32_t{m[2]} << 8) | m[3];
+  if (bits > 0) {
+    EXPECT_EQ(static_cast<unsigned>(std::countl_one(v)), bits);
+  } else {
+    EXPECT_EQ(v, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrefixLengths, PrefixSweep,
+                         ::testing::Values(0, 1, 4, 7, 8, 9, 15, 16, 17, 23, 24, 25,
+                                           31, 32));
+
+}  // namespace
+}  // namespace flymon

@@ -1,0 +1,134 @@
+// Tests for the runtime-rule renderer: the southbound rules of a deployed
+// task must be consistent with the deployment report and the data-plane
+// state they describe.
+#include <gtest/gtest.h>
+
+#include "control/rules.hpp"
+
+namespace flymon::control {
+namespace {
+
+struct World {
+  FlyMonDataPlane dp{9};
+  Controller ctl{dp};
+};
+
+unsigned count_kind(const std::vector<RuntimeRule>& rules, RuntimeRule::Kind kind) {
+  unsigned n = 0;
+  for (const auto& r : rules) n += (r.kind == kind);
+  return n;
+}
+
+unsigned count_table(const std::vector<RuntimeRule>& rules, const std::string& suffix) {
+  unsigned n = 0;
+  for (const auto& r : rules) {
+    if (r.table.size() >= suffix.size() &&
+        r.table.compare(r.table.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(Rules, CmsTaskRuleShape) {
+  World w;
+  TaskSpec s;
+  s.key = FlowKeySpec::src_ip();
+  s.attribute = AttributeKind::kFrequency;
+  s.memory_buckets = 65536;  // full register: no address translation entries
+  s.rows = 3;
+  const auto r = w.ctl.add_task(s);
+  ASSERT_TRUE(r.ok);
+  const auto rules = render_rules(w.ctl, r.task_id);
+
+  EXPECT_EQ(count_kind(rules, RuntimeRule::Kind::kHashMask), 1u)
+      << "one compressed key serves all three rows";
+  EXPECT_EQ(count_table(rules, ".init"), 3u);
+  EXPECT_EQ(count_table(rules, ".op"), 3u);
+  EXPECT_EQ(count_table(rules, ".prep.addr"), 0u) << "full-size partition";
+  for (const auto& rule : rules) {
+    if (rule.table.find(".op") != std::string::npos) {
+      EXPECT_NE(rule.action.find("Cond-ADD"), std::string::npos);
+    }
+  }
+}
+
+TEST(Rules, PartitionedTaskEmitsTranslationEntries) {
+  World w;
+  TaskSpec s;
+  s.key = FlowKeySpec::src_ip();
+  s.filter = TaskFilter::src(0x0A000000, 8);
+  s.attribute = AttributeKind::kFrequency;
+  s.memory_buckets = 16384;  // quarter of the register
+  s.rows = 1;
+  const auto r = w.ctl.add_task(s);
+  ASSERT_TRUE(r.ok);
+  const auto rules = render_rules(w.ctl, r.task_id);
+  // 3 displaced source blocks (power-of-two aligned: 1 entry each) + default.
+  EXPECT_EQ(count_table(rules, ".prep.addr"), 4u);
+}
+
+TEST(Rules, BeauCoupEmitsCouponWindows) {
+  World w;
+  TaskSpec s;
+  s.key = FlowKeySpec::dst_ip();
+  s.attribute = AttributeKind::kDistinct;
+  s.param = ParamSpec::compressed(FlowKeySpec::src_ip());
+  s.algorithm = Algorithm::kBeauCoup;
+  s.report_threshold = 512;
+  s.memory_buckets = 65536;
+  s.rows = 3;
+  const auto r = w.ctl.add_task(s);
+  ASSERT_TRUE(r.ok);
+  const auto rules = render_rules(w.ctl, r.task_id);
+  const auto* t = w.ctl.task(r.task_id);
+  // One window per coupon plus the default abort, per CMU row.
+  EXPECT_EQ(count_table(rules, ".prep.coupon"), 3u * (t->coupon_count + 1));
+  EXPECT_EQ(count_kind(rules, RuntimeRule::Kind::kHashMask), 2u)
+      << "DstIP key + SrcIP parameter";
+}
+
+TEST(Rules, XorComposedKeyListsBothUnits) {
+  World w;
+  TaskSpec s;
+  s.key = FlowKeySpec::ip_pair();
+  s.attribute = AttributeKind::kFrequency;
+  s.memory_buckets = 65536;
+  s.rows = 1;
+  const auto r = w.ctl.add_task(s);
+  ASSERT_TRUE(r.ok);
+  const auto rules = render_rules(w.ctl, r.task_id);
+  bool has_xor_key = false;
+  for (const auto& rule : rules) {
+    if (rule.table.find(".init") != std::string::npos) {
+      has_xor_key |= rule.action.find('^') != std::string::npos ||
+                     rule.action.find("set_key(H") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(has_xor_key);
+}
+
+TEST(Rules, UnknownTaskThrows) {
+  World w;
+  EXPECT_THROW(render_rules(w.ctl, 99), std::out_of_range);
+}
+
+TEST(Rules, FormatIsLinePerRule) {
+  World w;
+  TaskSpec s;
+  s.key = FlowKeySpec::src_ip();
+  s.attribute = AttributeKind::kFrequency;
+  s.memory_buckets = 65536;
+  s.rows = 1;
+  const auto r = w.ctl.add_task(s);
+  ASSERT_TRUE(r.ok);
+  const auto rules = render_rules(w.ctl, r.task_id);
+  const std::string text = format_rules(rules);
+  std::size_t lines = 0;
+  for (char c : text) lines += (c == '\n');
+  EXPECT_EQ(lines, rules.size());
+  EXPECT_NE(text.find("set_dyn_hash_mask(SrcIP)"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace flymon::control
