@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_compressed_keys"
+  "../bench/ablation_compressed_keys.pdb"
+  "CMakeFiles/ablation_compressed_keys.dir/ablation_compressed_keys.cpp.o"
+  "CMakeFiles/ablation_compressed_keys.dir/ablation_compressed_keys.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compressed_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_key_slices"
+  "../bench/ablation_key_slices.pdb"
+  "CMakeFiles/ablation_key_slices.dir/ablation_key_slices.cpp.o"
+  "CMakeFiles/ablation_key_slices.dir/ablation_key_slices.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_key_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

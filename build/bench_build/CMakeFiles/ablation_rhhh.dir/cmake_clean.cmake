@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rhhh"
+  "../bench/ablation_rhhh.pdb"
+  "CMakeFiles/ablation_rhhh.dir/ablation_rhhh.cpp.o"
+  "CMakeFiles/ablation_rhhh.dir/ablation_rhhh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rhhh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

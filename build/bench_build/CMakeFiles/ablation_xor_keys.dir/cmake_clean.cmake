@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_xor_keys"
+  "../bench/ablation_xor_keys.pdb"
+  "CMakeFiles/ablation_xor_keys.dir/ablation_xor_keys.cpp.o"
+  "CMakeFiles/ablation_xor_keys.dir/ablation_xor_keys.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_xor_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_xor_keys.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_static_footprint"
+  "../bench/fig02_static_footprint.pdb"
+  "CMakeFiles/fig02_static_footprint.dir/fig02_static_footprint.cpp.o"
+  "CMakeFiles/fig02_static_footprint.dir/fig02_static_footprint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_static_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

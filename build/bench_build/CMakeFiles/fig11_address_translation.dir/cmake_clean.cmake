@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_address_translation"
+  "../bench/fig11_address_translation.pdb"
+  "CMakeFiles/fig11_address_translation.dir/fig11_address_translation.cpp.o"
+  "CMakeFiles/fig11_address_translation.dir/fig11_address_translation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_address_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

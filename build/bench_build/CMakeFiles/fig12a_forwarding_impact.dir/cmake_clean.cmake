@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12a_forwarding_impact"
+  "../bench/fig12a_forwarding_impact.pdb"
+  "CMakeFiles/fig12a_forwarding_impact.dir/fig12a_forwarding_impact.cpp.o"
+  "CMakeFiles/fig12a_forwarding_impact.dir/fig12a_forwarding_impact.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_forwarding_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12b_accuracy_impact"
+  "../bench/fig12b_accuracy_impact.pdb"
+  "CMakeFiles/fig12b_accuracy_impact.dir/fig12b_accuracy_impact.cpp.o"
+  "CMakeFiles/fig12b_accuracy_impact.dir/fig12b_accuracy_impact.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_accuracy_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13a_resource_overhead"
+  "../bench/fig13a_resource_overhead.pdb"
+  "CMakeFiles/fig13a_resource_overhead.dir/fig13a_resource_overhead.cpp.o"
+  "CMakeFiles/fig13a_resource_overhead.dir/fig13a_resource_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_resource_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13b_crossstacking"
+  "../bench/fig13b_crossstacking.pdb"
+  "CMakeFiles/fig13b_crossstacking.dir/fig13b_crossstacking.cpp.o"
+  "CMakeFiles/fig13b_crossstacking.dir/fig13b_crossstacking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_crossstacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13c_key_scalability"
+  "../bench/fig13c_key_scalability.pdb"
+  "CMakeFiles/fig13c_key_scalability.dir/fig13c_key_scalability.cpp.o"
+  "CMakeFiles/fig13c_key_scalability.dir/fig13c_key_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13c_key_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

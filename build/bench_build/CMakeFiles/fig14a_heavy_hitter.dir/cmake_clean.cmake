@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14a_heavy_hitter"
+  "../bench/fig14a_heavy_hitter.pdb"
+  "CMakeFiles/fig14a_heavy_hitter.dir/fig14a_heavy_hitter.cpp.o"
+  "CMakeFiles/fig14a_heavy_hitter.dir/fig14a_heavy_hitter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14a_heavy_hitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14b_probabilistic"
+  "../bench/fig14b_probabilistic.pdb"
+  "CMakeFiles/fig14b_probabilistic.dir/fig14b_probabilistic.cpp.o"
+  "CMakeFiles/fig14b_probabilistic.dir/fig14b_probabilistic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14b_probabilistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14c_ddos_victims"
+  "../bench/fig14c_ddos_victims.pdb"
+  "CMakeFiles/fig14c_ddos_victims.dir/fig14c_ddos_victims.cpp.o"
+  "CMakeFiles/fig14c_ddos_victims.dir/fig14c_ddos_victims.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14c_ddos_victims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14c_ddos_victims.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14d_cardinality"
+  "../bench/fig14d_cardinality.pdb"
+  "CMakeFiles/fig14d_cardinality.dir/fig14d_cardinality.cpp.o"
+  "CMakeFiles/fig14d_cardinality.dir/fig14d_cardinality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14d_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

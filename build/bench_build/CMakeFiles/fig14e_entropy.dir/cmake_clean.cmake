@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14e_entropy"
+  "../bench/fig14e_entropy.pdb"
+  "CMakeFiles/fig14e_entropy.dir/fig14e_entropy.cpp.o"
+  "CMakeFiles/fig14e_entropy.dir/fig14e_entropy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14e_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14f_interarrival"
+  "../bench/fig14f_interarrival.pdb"
+  "CMakeFiles/fig14f_interarrival.dir/fig14f_interarrival.cpp.o"
+  "CMakeFiles/fig14f_interarrival.dir/fig14f_interarrival.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14f_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

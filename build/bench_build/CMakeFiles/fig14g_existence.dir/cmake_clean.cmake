@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14g_existence"
+  "../bench/fig14g_existence.pdb"
+  "CMakeFiles/fig14g_existence.dir/fig14g_existence.cpp.o"
+  "CMakeFiles/fig14g_existence.dir/fig14g_existence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14g_existence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14g_existence.
+# This may be replaced when dependencies are built.

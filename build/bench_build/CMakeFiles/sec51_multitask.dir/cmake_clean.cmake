@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec51_multitask"
+  "../bench/sec51_multitask.pdb"
+  "CMakeFiles/sec51_multitask.dir/sec51_multitask.cpp.o"
+  "CMakeFiles/sec51_multitask.dir/sec51_multitask.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_deployment_delay"
+  "../bench/table3_deployment_delay.pdb"
+  "CMakeFiles/table3_deployment_delay.dir/table3_deployment_delay.cpp.o"
+  "CMakeFiles/table3_deployment_delay.dir/table3_deployment_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_deployment_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

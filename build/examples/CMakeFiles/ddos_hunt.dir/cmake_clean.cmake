@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_hunt.dir/ddos_hunt.cpp.o"
+  "CMakeFiles/ddos_hunt.dir/ddos_hunt.cpp.o.d"
+  "ddos_hunt"
+  "ddos_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

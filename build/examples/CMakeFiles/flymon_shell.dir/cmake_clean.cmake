@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flymon_shell.dir/flymon_shell.cpp.o"
+  "CMakeFiles/flymon_shell.dir/flymon_shell.cpp.o.d"
+  "flymon_shell"
+  "flymon_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flymon_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_churn.dir/task_churn.cpp.o"
+  "CMakeFiles/task_churn.dir/task_churn.cpp.o.d"
+  "task_churn"
+  "task_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flymon_analysis.dir/metrics.cpp.o"
+  "CMakeFiles/flymon_analysis.dir/metrics.cpp.o.d"
+  "libflymon_analysis.a"
+  "libflymon_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flymon_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flymon_common.dir/hash.cpp.o"
+  "CMakeFiles/flymon_common.dir/hash.cpp.o.d"
+  "CMakeFiles/flymon_common.dir/zipf.cpp.o"
+  "CMakeFiles/flymon_common.dir/zipf.cpp.o.d"
+  "libflymon_common.a"
+  "libflymon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flymon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/adaptive.cpp" "src/control/CMakeFiles/flymon_control.dir/adaptive.cpp.o" "gcc" "src/control/CMakeFiles/flymon_control.dir/adaptive.cpp.o.d"
+  "/root/repo/src/control/controller.cpp" "src/control/CMakeFiles/flymon_control.dir/controller.cpp.o" "gcc" "src/control/CMakeFiles/flymon_control.dir/controller.cpp.o.d"
+  "/root/repo/src/control/crossstack.cpp" "src/control/CMakeFiles/flymon_control.dir/crossstack.cpp.o" "gcc" "src/control/CMakeFiles/flymon_control.dir/crossstack.cpp.o.d"
+  "/root/repo/src/control/forwarding_sim.cpp" "src/control/CMakeFiles/flymon_control.dir/forwarding_sim.cpp.o" "gcc" "src/control/CMakeFiles/flymon_control.dir/forwarding_sim.cpp.o.d"
+  "/root/repo/src/control/network.cpp" "src/control/CMakeFiles/flymon_control.dir/network.cpp.o" "gcc" "src/control/CMakeFiles/flymon_control.dir/network.cpp.o.d"
+  "/root/repo/src/control/rhhh.cpp" "src/control/CMakeFiles/flymon_control.dir/rhhh.cpp.o" "gcc" "src/control/CMakeFiles/flymon_control.dir/rhhh.cpp.o.d"
+  "/root/repo/src/control/rules.cpp" "src/control/CMakeFiles/flymon_control.dir/rules.cpp.o" "gcc" "src/control/CMakeFiles/flymon_control.dir/rules.cpp.o.d"
+  "/root/repo/src/control/shell.cpp" "src/control/CMakeFiles/flymon_control.dir/shell.cpp.o" "gcc" "src/control/CMakeFiles/flymon_control.dir/shell.cpp.o.d"
+  "/root/repo/src/control/static_deploy.cpp" "src/control/CMakeFiles/flymon_control.dir/static_deploy.cpp.o" "gcc" "src/control/CMakeFiles/flymon_control.dir/static_deploy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flymon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/flymon_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/flymon_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/flymon_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flymon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flymon_control.dir/adaptive.cpp.o"
+  "CMakeFiles/flymon_control.dir/adaptive.cpp.o.d"
+  "CMakeFiles/flymon_control.dir/controller.cpp.o"
+  "CMakeFiles/flymon_control.dir/controller.cpp.o.d"
+  "CMakeFiles/flymon_control.dir/crossstack.cpp.o"
+  "CMakeFiles/flymon_control.dir/crossstack.cpp.o.d"
+  "CMakeFiles/flymon_control.dir/forwarding_sim.cpp.o"
+  "CMakeFiles/flymon_control.dir/forwarding_sim.cpp.o.d"
+  "CMakeFiles/flymon_control.dir/network.cpp.o"
+  "CMakeFiles/flymon_control.dir/network.cpp.o.d"
+  "CMakeFiles/flymon_control.dir/rhhh.cpp.o"
+  "CMakeFiles/flymon_control.dir/rhhh.cpp.o.d"
+  "CMakeFiles/flymon_control.dir/rules.cpp.o"
+  "CMakeFiles/flymon_control.dir/rules.cpp.o.d"
+  "CMakeFiles/flymon_control.dir/shell.cpp.o"
+  "CMakeFiles/flymon_control.dir/shell.cpp.o.d"
+  "CMakeFiles/flymon_control.dir/static_deploy.cpp.o"
+  "CMakeFiles/flymon_control.dir/static_deploy.cpp.o.d"
+  "libflymon_control.a"
+  "libflymon_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flymon_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

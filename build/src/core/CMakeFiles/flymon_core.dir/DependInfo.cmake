@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/address_translation.cpp" "src/core/CMakeFiles/flymon_core.dir/address_translation.cpp.o" "gcc" "src/core/CMakeFiles/flymon_core.dir/address_translation.cpp.o.d"
+  "/root/repo/src/core/cmu.cpp" "src/core/CMakeFiles/flymon_core.dir/cmu.cpp.o" "gcc" "src/core/CMakeFiles/flymon_core.dir/cmu.cpp.o.d"
+  "/root/repo/src/core/cmu_group.cpp" "src/core/CMakeFiles/flymon_core.dir/cmu_group.cpp.o" "gcc" "src/core/CMakeFiles/flymon_core.dir/cmu_group.cpp.o.d"
+  "/root/repo/src/core/compression.cpp" "src/core/CMakeFiles/flymon_core.dir/compression.cpp.o" "gcc" "src/core/CMakeFiles/flymon_core.dir/compression.cpp.o.d"
+  "/root/repo/src/core/flymon_dataplane.cpp" "src/core/CMakeFiles/flymon_core.dir/flymon_dataplane.cpp.o" "gcc" "src/core/CMakeFiles/flymon_core.dir/flymon_dataplane.cpp.o.d"
+  "/root/repo/src/core/memory_partition.cpp" "src/core/CMakeFiles/flymon_core.dir/memory_partition.cpp.o" "gcc" "src/core/CMakeFiles/flymon_core.dir/memory_partition.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/core/CMakeFiles/flymon_core.dir/task.cpp.o" "gcc" "src/core/CMakeFiles/flymon_core.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flymon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/flymon_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/flymon_dataplane.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flymon_core.dir/address_translation.cpp.o"
+  "CMakeFiles/flymon_core.dir/address_translation.cpp.o.d"
+  "CMakeFiles/flymon_core.dir/cmu.cpp.o"
+  "CMakeFiles/flymon_core.dir/cmu.cpp.o.d"
+  "CMakeFiles/flymon_core.dir/cmu_group.cpp.o"
+  "CMakeFiles/flymon_core.dir/cmu_group.cpp.o.d"
+  "CMakeFiles/flymon_core.dir/compression.cpp.o"
+  "CMakeFiles/flymon_core.dir/compression.cpp.o.d"
+  "CMakeFiles/flymon_core.dir/flymon_dataplane.cpp.o"
+  "CMakeFiles/flymon_core.dir/flymon_dataplane.cpp.o.d"
+  "CMakeFiles/flymon_core.dir/memory_partition.cpp.o"
+  "CMakeFiles/flymon_core.dir/memory_partition.cpp.o.d"
+  "CMakeFiles/flymon_core.dir/task.cpp.o"
+  "CMakeFiles/flymon_core.dir/task.cpp.o.d"
+  "libflymon_core.a"
+  "libflymon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flymon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/hash_unit.cpp" "src/dataplane/CMakeFiles/flymon_dataplane.dir/hash_unit.cpp.o" "gcc" "src/dataplane/CMakeFiles/flymon_dataplane.dir/hash_unit.cpp.o.d"
+  "/root/repo/src/dataplane/mau_stage.cpp" "src/dataplane/CMakeFiles/flymon_dataplane.dir/mau_stage.cpp.o" "gcc" "src/dataplane/CMakeFiles/flymon_dataplane.dir/mau_stage.cpp.o.d"
+  "/root/repo/src/dataplane/pipeline.cpp" "src/dataplane/CMakeFiles/flymon_dataplane.dir/pipeline.cpp.o" "gcc" "src/dataplane/CMakeFiles/flymon_dataplane.dir/pipeline.cpp.o.d"
+  "/root/repo/src/dataplane/salu.cpp" "src/dataplane/CMakeFiles/flymon_dataplane.dir/salu.cpp.o" "gcc" "src/dataplane/CMakeFiles/flymon_dataplane.dir/salu.cpp.o.d"
+  "/root/repo/src/dataplane/tcam.cpp" "src/dataplane/CMakeFiles/flymon_dataplane.dir/tcam.cpp.o" "gcc" "src/dataplane/CMakeFiles/flymon_dataplane.dir/tcam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flymon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/flymon_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

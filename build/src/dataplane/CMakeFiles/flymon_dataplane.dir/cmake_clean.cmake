@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flymon_dataplane.dir/hash_unit.cpp.o"
+  "CMakeFiles/flymon_dataplane.dir/hash_unit.cpp.o.d"
+  "CMakeFiles/flymon_dataplane.dir/mau_stage.cpp.o"
+  "CMakeFiles/flymon_dataplane.dir/mau_stage.cpp.o.d"
+  "CMakeFiles/flymon_dataplane.dir/pipeline.cpp.o"
+  "CMakeFiles/flymon_dataplane.dir/pipeline.cpp.o.d"
+  "CMakeFiles/flymon_dataplane.dir/salu.cpp.o"
+  "CMakeFiles/flymon_dataplane.dir/salu.cpp.o.d"
+  "CMakeFiles/flymon_dataplane.dir/tcam.cpp.o"
+  "CMakeFiles/flymon_dataplane.dir/tcam.cpp.o.d"
+  "libflymon_dataplane.a"
+  "libflymon_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flymon_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/exact.cpp" "src/packet/CMakeFiles/flymon_packet.dir/exact.cpp.o" "gcc" "src/packet/CMakeFiles/flymon_packet.dir/exact.cpp.o.d"
+  "/root/repo/src/packet/flowkey.cpp" "src/packet/CMakeFiles/flymon_packet.dir/flowkey.cpp.o" "gcc" "src/packet/CMakeFiles/flymon_packet.dir/flowkey.cpp.o.d"
+  "/root/repo/src/packet/trace_gen.cpp" "src/packet/CMakeFiles/flymon_packet.dir/trace_gen.cpp.o" "gcc" "src/packet/CMakeFiles/flymon_packet.dir/trace_gen.cpp.o.d"
+  "/root/repo/src/packet/trace_io.cpp" "src/packet/CMakeFiles/flymon_packet.dir/trace_io.cpp.o" "gcc" "src/packet/CMakeFiles/flymon_packet.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flymon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

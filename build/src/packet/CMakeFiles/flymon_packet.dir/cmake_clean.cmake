@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flymon_packet.dir/exact.cpp.o"
+  "CMakeFiles/flymon_packet.dir/exact.cpp.o.d"
+  "CMakeFiles/flymon_packet.dir/flowkey.cpp.o"
+  "CMakeFiles/flymon_packet.dir/flowkey.cpp.o.d"
+  "CMakeFiles/flymon_packet.dir/trace_gen.cpp.o"
+  "CMakeFiles/flymon_packet.dir/trace_gen.cpp.o.d"
+  "CMakeFiles/flymon_packet.dir/trace_io.cpp.o"
+  "CMakeFiles/flymon_packet.dir/trace_io.cpp.o.d"
+  "libflymon_packet.a"
+  "libflymon_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flymon_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/beaucoup.cpp" "src/sketch/CMakeFiles/flymon_sketch.dir/beaucoup.cpp.o" "gcc" "src/sketch/CMakeFiles/flymon_sketch.dir/beaucoup.cpp.o.d"
+  "/root/repo/src/sketch/bloom_filter.cpp" "src/sketch/CMakeFiles/flymon_sketch.dir/bloom_filter.cpp.o" "gcc" "src/sketch/CMakeFiles/flymon_sketch.dir/bloom_filter.cpp.o.d"
+  "/root/repo/src/sketch/count_min.cpp" "src/sketch/CMakeFiles/flymon_sketch.dir/count_min.cpp.o" "gcc" "src/sketch/CMakeFiles/flymon_sketch.dir/count_min.cpp.o.d"
+  "/root/repo/src/sketch/count_sketch.cpp" "src/sketch/CMakeFiles/flymon_sketch.dir/count_sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/flymon_sketch.dir/count_sketch.cpp.o.d"
+  "/root/repo/src/sketch/counter_braids.cpp" "src/sketch/CMakeFiles/flymon_sketch.dir/counter_braids.cpp.o" "gcc" "src/sketch/CMakeFiles/flymon_sketch.dir/counter_braids.cpp.o.d"
+  "/root/repo/src/sketch/hyperloglog.cpp" "src/sketch/CMakeFiles/flymon_sketch.dir/hyperloglog.cpp.o" "gcc" "src/sketch/CMakeFiles/flymon_sketch.dir/hyperloglog.cpp.o.d"
+  "/root/repo/src/sketch/linear_counting.cpp" "src/sketch/CMakeFiles/flymon_sketch.dir/linear_counting.cpp.o" "gcc" "src/sketch/CMakeFiles/flymon_sketch.dir/linear_counting.cpp.o.d"
+  "/root/repo/src/sketch/mrac.cpp" "src/sketch/CMakeFiles/flymon_sketch.dir/mrac.cpp.o" "gcc" "src/sketch/CMakeFiles/flymon_sketch.dir/mrac.cpp.o.d"
+  "/root/repo/src/sketch/odd_sketch.cpp" "src/sketch/CMakeFiles/flymon_sketch.dir/odd_sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/flymon_sketch.dir/odd_sketch.cpp.o.d"
+  "/root/repo/src/sketch/sumax.cpp" "src/sketch/CMakeFiles/flymon_sketch.dir/sumax.cpp.o" "gcc" "src/sketch/CMakeFiles/flymon_sketch.dir/sumax.cpp.o.d"
+  "/root/repo/src/sketch/tower.cpp" "src/sketch/CMakeFiles/flymon_sketch.dir/tower.cpp.o" "gcc" "src/sketch/CMakeFiles/flymon_sketch.dir/tower.cpp.o.d"
+  "/root/repo/src/sketch/univmon.cpp" "src/sketch/CMakeFiles/flymon_sketch.dir/univmon.cpp.o" "gcc" "src/sketch/CMakeFiles/flymon_sketch.dir/univmon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flymon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/flymon_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flymon_sketch.dir/beaucoup.cpp.o"
+  "CMakeFiles/flymon_sketch.dir/beaucoup.cpp.o.d"
+  "CMakeFiles/flymon_sketch.dir/bloom_filter.cpp.o"
+  "CMakeFiles/flymon_sketch.dir/bloom_filter.cpp.o.d"
+  "CMakeFiles/flymon_sketch.dir/count_min.cpp.o"
+  "CMakeFiles/flymon_sketch.dir/count_min.cpp.o.d"
+  "CMakeFiles/flymon_sketch.dir/count_sketch.cpp.o"
+  "CMakeFiles/flymon_sketch.dir/count_sketch.cpp.o.d"
+  "CMakeFiles/flymon_sketch.dir/counter_braids.cpp.o"
+  "CMakeFiles/flymon_sketch.dir/counter_braids.cpp.o.d"
+  "CMakeFiles/flymon_sketch.dir/hyperloglog.cpp.o"
+  "CMakeFiles/flymon_sketch.dir/hyperloglog.cpp.o.d"
+  "CMakeFiles/flymon_sketch.dir/linear_counting.cpp.o"
+  "CMakeFiles/flymon_sketch.dir/linear_counting.cpp.o.d"
+  "CMakeFiles/flymon_sketch.dir/mrac.cpp.o"
+  "CMakeFiles/flymon_sketch.dir/mrac.cpp.o.d"
+  "CMakeFiles/flymon_sketch.dir/odd_sketch.cpp.o"
+  "CMakeFiles/flymon_sketch.dir/odd_sketch.cpp.o.d"
+  "CMakeFiles/flymon_sketch.dir/sumax.cpp.o"
+  "CMakeFiles/flymon_sketch.dir/sumax.cpp.o.d"
+  "CMakeFiles/flymon_sketch.dir/tower.cpp.o"
+  "CMakeFiles/flymon_sketch.dir/tower.cpp.o.d"
+  "CMakeFiles/flymon_sketch.dir/univmon.cpp.o"
+  "CMakeFiles/flymon_sketch.dir/univmon.cpp.o.d"
+  "libflymon_sketch.a"
+  "libflymon_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flymon_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflymon_sketch.a"
+)

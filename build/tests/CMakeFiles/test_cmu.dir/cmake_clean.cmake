@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmu.dir/test_cmu.cpp.o"
+  "CMakeFiles/test_cmu.dir/test_cmu.cpp.o.d"
+  "test_cmu"
+  "test_cmu.pdb"
+  "test_cmu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

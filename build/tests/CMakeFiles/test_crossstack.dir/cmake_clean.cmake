@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossstack.dir/test_crossstack.cpp.o"
+  "CMakeFiles/test_crossstack.dir/test_crossstack.cpp.o.d"
+  "test_crossstack"
+  "test_crossstack.pdb"
+  "test_crossstack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rhhh.dir/test_rhhh.cpp.o"
+  "CMakeFiles/test_rhhh.dir/test_rhhh.cpp.o.d"
+  "test_rhhh"
+  "test_rhhh.pdb"
+  "test_rhhh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rhhh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shell_adaptive.dir/test_shell_adaptive.cpp.o"
+  "CMakeFiles/test_shell_adaptive.dir/test_shell_adaptive.cpp.o.d"
+  "test_shell_adaptive"
+  "test_shell_adaptive.pdb"
+  "test_shell_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shell_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

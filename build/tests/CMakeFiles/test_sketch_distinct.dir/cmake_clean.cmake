@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sketch_distinct.dir/test_sketch_distinct.cpp.o"
+  "CMakeFiles/test_sketch_distinct.dir/test_sketch_distinct.cpp.o.d"
+  "test_sketch_distinct"
+  "test_sketch_distinct.pdb"
+  "test_sketch_distinct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sketch_distinct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

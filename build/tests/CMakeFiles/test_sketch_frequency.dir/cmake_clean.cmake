@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sketch_frequency.dir/test_sketch_frequency.cpp.o"
+  "CMakeFiles/test_sketch_frequency.dir/test_sketch_frequency.cpp.o.d"
+  "test_sketch_frequency"
+  "test_sketch_frequency.pdb"
+  "test_sketch_frequency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sketch_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

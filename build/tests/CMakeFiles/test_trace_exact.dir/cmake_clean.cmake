@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_exact.dir/test_trace_exact.cpp.o"
+  "CMakeFiles/test_trace_exact.dir/test_trace_exact.cpp.o.d"
+  "test_trace_exact"
+  "test_trace_exact.pdb"
+  "test_trace_exact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
