@@ -69,4 +69,83 @@ inline std::vector<FlowKeyValue> keys_of(const FreqMap& m) {
   return out;
 }
 
+// ---- opt-in machine-readable output (`--json <path>`) ----
+//
+// Benches keep their human-oriented console tables; a bench that also wants
+// machine-readable rows collects them in a JsonReport and writes the file
+// only when the user passed `--json <path>`.
+
+/// Extract `--json <path>` from argv, compacting argv in place so the
+/// remaining args can be handed to another parser (e.g. google-benchmark).
+/// Returns the path, or "" when the flag is absent.
+inline std::string extract_json_path(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    const std::string arg = argv[r];
+    if (arg == "--json" && r + 1 < argc) {
+      path = argv[++r];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  return path;
+}
+
+/// One result row: a name plus numeric fields.  Kept flat so every bench's
+/// output has the same shape: {"name": ..., "metric1": v1, ...}.
+struct JsonRow {
+  std::string name;
+  std::vector<std::pair<std::string, double>> fields;
+  void add(const std::string& key, double value) { fields.emplace_back(key, value); }
+};
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  JsonRow& row(const std::string& name) {
+    rows_.push_back(JsonRow{name, {}});
+    return rows_.back();
+  }
+
+  std::string to_string() const {
+    std::string out = "{\n  \"bench\": \"" + bench_ + "\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += "    {\"name\": \"" + rows_[i].name + "\"";
+      for (const auto& [k, v] : rows_[i].fields) {
+        char buf[64];
+        if (v == static_cast<double>(static_cast<long long>(v)) &&
+            v > -1e15 && v < 1e15) {
+          std::snprintf(buf, sizeof buf, "%.0f", v);
+        } else {
+          std::snprintf(buf, sizeof buf, "%.6g", v);
+        }
+        out += ", \"" + k + "\": " + buf;
+      }
+      out += i + 1 < rows_.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Write the report to `path`; no-op (returns true) when path is empty.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::string text = to_string();
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<JsonRow> rows_;
+};
+
 }  // namespace flymon::bench

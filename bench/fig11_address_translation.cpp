@@ -10,7 +10,9 @@
 using namespace flymon;
 using dataplane::TofinoModel;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::extract_json_path(argc, argv);
+  bench::JsonReport report("fig11_address_translation");
   bench::header("Figure 11", "Address-translation overhead vs #memory partitions");
 
   constexpr std::uint32_t kBuckets = 65536;  // one CMU register
@@ -26,9 +28,18 @@ int main() {
         translation_cost_for_partitions(TranslationStrategy::kShift, kBuckets, parts);
     std::printf("%-12u %18u %13.1f%% %18u\n", parts, tcam.tcam_entries,
                 100.0 * tcam.tcam_entries / kStageTcamEntries, shift.phv_bits);
+    bench::JsonRow& row = report.row("partitions_" + std::to_string(parts));
+    row.add("partitions", parts);
+    row.add("tcam_entries", tcam.tcam_entries);
+    row.add("tcam_usage", tcam.tcam_entries / kStageTcamEntries);
+    row.add("shift_phv_bits", shift.phv_bits);
   }
   std::printf("\n(paper: 32 partitions need ~12.5%% of one stage's TCAM; with 32\n"
               " partitions per CMU a 3-CMU group runs up to 96 isolated tasks)\n");
+  if (!report.write(json_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
 
   // Range-expansion sanity: every power-of-two partition expands to exactly
   // one ternary entry per displaced source block.

@@ -1,7 +1,11 @@
 // Microbenchmarks (google-benchmark): per-packet update cost of the CMU
 // pipeline versus raw software sketches, plus key primitives.
+//
+// `--json <path>` additionally writes one machine-readable row per
+// benchmark (ns/op and items/s) for regression tracking.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.hpp"
 #include "control/controller.hpp"
 #include "dataplane/hash_unit.hpp"
 #include "dataplane/tcam.hpp"
@@ -122,6 +126,44 @@ void BM_UnivMonUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_UnivMonUpdate);
 
+// Console reporter that additionally records one JsonRow per benchmark run
+// (real ns/op and, where set, items/s).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(bench::JsonReport* report)
+      : benchmark::ConsoleReporter(OO_Tabular), report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    if (report_ == nullptr) return;
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      bench::JsonRow& row = report_->row(run.benchmark_name());
+      row.add("real_ns_per_op", run.GetAdjustedRealTime());
+      row.add("cpu_ns_per_op", run.GetAdjustedCPUTime());
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) row.add("items_per_second", it->second.value);
+      row.add("iterations", static_cast<double>(run.iterations));
+    }
+  }
+
+ private:
+  bench::JsonReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = bench::extract_json_path(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::JsonReport report("micro_throughput");
+  CapturingReporter reporter(json_path.empty() ? nullptr : &report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !report.write(json_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -15,10 +15,12 @@
 
 #include "control/shell.hpp"
 #include "packet/trace_gen.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace flymon;
 
 int main() {
+  telemetry::init_from_env();  // FLYMON_TELEMETRY=1 enables counters
   FlyMonDataPlane dataplane(9);
   control::Controller controller(dataplane);
   control::Shell shell(controller);

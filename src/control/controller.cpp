@@ -100,7 +100,17 @@ std::uint8_t rho_of_slice(std::uint32_t v, unsigned width) {
 }  // namespace
 
 Controller::Controller(FlyMonDataPlane& dp, TranslationStrategy strategy, AllocMode mode)
-    : dp_(&dp), strategy_(strategy), mode_(mode) {}
+    : dp_(&dp), strategy_(strategy), mode_(mode) {
+  bind_telemetry(telemetry::Registry::global());
+}
+
+void Controller::bind_telemetry(telemetry::Registry& registry) {
+  registry_ = &registry;
+  deploys_counter_ = &registry.counter("flymon_task_deploys_total");
+  deploy_failures_counter_ = &registry.counter("flymon_task_deploy_failures_total");
+  removals_counter_ = &registry.counter("flymon_task_removals_total");
+  resizes_counter_ = &registry.counter("flymon_task_resizes_total");
+}
 
 BuddyAllocator& Controller::allocator(unsigned group, unsigned cmu) {
   const auto key = std::make_pair(group, cmu);
@@ -552,10 +562,13 @@ DeployResult Controller::deploy(const TaskSpec& spec, std::uint32_t public_id) {
 
   gc_unreferenced_units();
   if (!placed) {
+    deploy_failures_counter_->inc();
     result.error = "insufficient resources (keys / CMUs / memory)";
     return result;
   }
+  t.cumulative_delay_ms = t.report.delay_ms();
   tasks_[public_id] = t;
+  deploys_counter_->inc();
   result.ok = true;
   result.task_id = public_id;
   result.report = t.report;
@@ -567,6 +580,7 @@ bool Controller::remove_task(std::uint32_t id) {
   if (it == tasks_.end()) return false;
   undo_deployment(it->second);
   tasks_.erase(it);
+  removals_counter_->inc();
   return true;
 }
 
@@ -581,11 +595,14 @@ DeployResult Controller::resize_task(std::uint32_t id, std::uint32_t new_buckets
   DeployResult fresh = deploy(spec, next_id_);
   if (!fresh.ok) return fresh;
   ++next_id_;
+  const double prior_delay = it->second.cumulative_delay_ms;
   auto node = tasks_.extract(fresh.task_id);
   remove_task(id);
   node.key() = id;
   node.mapped().id = id;
+  node.mapped().cumulative_delay_ms += prior_delay;
   tasks_.insert(std::move(node));
+  resizes_counter_->inc();
   fresh.task_id = id;
   return fresh;
 }
@@ -931,6 +948,66 @@ double Controller::estimate_jaccard(std::uint32_t a, std::uint32_t b) const {
   const DeployedTask& tb = require(b);
   require_comparable(*dp_, ta, tb);
   return load_odd_sketch(*dp_, ta).estimate_jaccard(load_odd_sketch(*dp_, tb));
+}
+
+// ---------- observability ----------
+
+TaskHealth Controller::task_health(std::uint32_t id) const {
+  const DeployedTask& t = require(id);
+  TaskHealth h;
+  h.task_id = t.id;
+  h.name = t.spec.name;
+  h.algorithm = t.algorithm;
+  h.buckets = t.buckets;
+  h.rows = static_cast<unsigned>(t.rows.size());
+  h.cmus_used = t.report.cmus_used;
+  h.table_rules = t.report.table_rules;
+  h.hash_mask_rules = t.report.hash_mask_rules;
+  h.cumulative_delay_ms = t.cumulative_delay_ms;
+  for (const RowPlacement& row : t.rows) {
+    std::uint64_t nonzero = 0;
+    std::uint64_t cells = 0;
+    for (const UnitPlacement& up : row.units) {
+      const auto& reg = dp_->group(up.group).cmu(up.cmu).reg();
+      for (std::uint32_t i = up.partition.base; i < up.partition.end(); ++i) {
+        if (reg.read(i) != 0) ++nonzero;
+      }
+      cells += up.partition.size;
+    }
+    const double sat =
+        cells == 0 ? 0.0 : static_cast<double>(nonzero) / static_cast<double>(cells);
+    h.row_saturation.push_back(sat);
+    h.max_saturation = std::max(h.max_saturation, sat);
+  }
+  return h;
+}
+
+std::vector<TaskHealth> Controller::health() const {
+  std::vector<TaskHealth> out;
+  out.reserve(tasks_.size());
+  for (const auto& [id, t] : tasks_) out.push_back(task_health(id));
+  return out;
+}
+
+void Controller::collect_telemetry() const {
+  collect_dataplane_telemetry(*dp_, *registry_);
+  registry_->gauge("flymon_tasks_active").set(static_cast<double>(tasks_.size()));
+  for (const TaskHealth& h : health()) {
+    const std::string id = std::to_string(h.task_id);
+    registry_->gauge("flymon_task_buckets", {{"task", id}}).set(h.buckets);
+    registry_->gauge("flymon_task_rules",
+                     {{"task", id}})
+        .set(static_cast<double>(h.table_rules + h.hash_mask_rules));
+    registry_->gauge("flymon_task_deploy_delay_ms_total", {{"task", id}})
+        .set(h.cumulative_delay_ms);
+    registry_->gauge("flymon_task_max_saturation", {{"task", id}})
+        .set(h.max_saturation);
+    for (std::size_t r = 0; r < h.row_saturation.size(); ++r) {
+      registry_->gauge("flymon_task_row_saturation",
+                       {{"task", id}, {"row", std::to_string(r)}})
+          .set(h.row_saturation[r]);
+    }
+  }
 }
 
 std::vector<FlowKeyValue> Controller::detect_over_threshold(

@@ -41,10 +41,30 @@ struct DeployedTask {
   std::uint32_t buckets = 0;               ///< quantized per-row buckets
   std::vector<RowPlacement> rows;
   DeploymentReport report;
+  /// Total reconfiguration delay this public id has paid (initial deploy
+  /// plus every resize/split swap).
+  double cumulative_delay_ms = 0.0;
   // BeauCoup parameters resolved by the compiler.
   unsigned coupon_count = 32;
   unsigned coupon_threshold = 32;
   double coupon_probability = 0;
+};
+
+/// Point-in-time health of one deployed task (computed on demand).
+struct TaskHealth {
+  std::uint32_t task_id = 0;
+  std::string name;
+  Algorithm algorithm = Algorithm::kAuto;
+  std::uint32_t buckets = 0;
+  unsigned rows = 0;
+  unsigned cmus_used = 0;
+  unsigned table_rules = 0;
+  unsigned hash_mask_rules = 0;
+  double cumulative_delay_ms = 0.0;
+  /// Per-row bucket saturation: non-zero cells / cells, over all of the
+  /// row's unit partitions.  High saturation = collision pressure.
+  std::vector<double> row_saturation;
+  double max_saturation = 0.0;
 };
 
 struct DeployResult {
@@ -132,6 +152,20 @@ class Controller {
   FlyMonDataPlane& dataplane() noexcept { return *dp_; }
   const FlyMonDataPlane& dataplane() const noexcept { return *dp_; }
 
+  // ---- observability ----
+  /// Health of one task / all tasks (bucket saturation, rules, delay).
+  TaskHealth task_health(std::uint32_t id) const;
+  std::vector<TaskHealth> health() const;
+
+  /// Rebind the controller's own counters (deploys, failures, delay) into
+  /// `registry`.  Construction binds to telemetry::Registry::global().
+  void bind_telemetry(telemetry::Registry& registry);
+  telemetry::Registry& registry() const noexcept { return *registry_; }
+
+  /// Refresh every on-demand gauge: per-task health plus the dataplane's
+  /// occupancy gauges (collect_dataplane_telemetry).
+  void collect_telemetry() const;
+
  private:
   struct PendingMask {  // hash-mask rules staged during one deployment
     unsigned group;
@@ -159,6 +193,11 @@ class Controller {
   FlyMonDataPlane* dp_;
   TranslationStrategy strategy_;
   AllocMode mode_;
+  telemetry::Registry* registry_ = nullptr;
+  telemetry::Counter* deploys_counter_ = nullptr;
+  telemetry::Counter* deploy_failures_counter_ = nullptr;
+  telemetry::Counter* removals_counter_ = nullptr;
+  telemetry::Counter* resizes_counter_ = nullptr;
   std::uint32_t next_id_ = 1;
   std::uint32_t next_phys_ = 1;
   std::uint32_t next_chain_ = 1;

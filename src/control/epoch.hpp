@@ -5,10 +5,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 
+#include "control/controller.hpp"
 #include "core/flymon_dataplane.hpp"
 #include "packet/packet.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace flymon::control {
 
@@ -19,19 +22,38 @@ class EpochRunner {
 
   std::uint64_t epoch_ns() const noexcept { return epoch_ns_; }
 
-  /// Run a time-sorted trace.  For each epoch, packets are processed, then
+  /// Record per-epoch metrics into `registry`: epoch count, packets-per-
+  /// epoch histogram and — when a controller is given — every task's
+  /// bucket saturation and its epoch-over-epoch delta, observed against the
+  /// frozen registers just before they are cleared.
+  void bind_telemetry(telemetry::Registry& registry,
+                      const Controller* controller = nullptr) {
+    registry_ = &registry;
+    controller_ = controller;
+    epochs_counter_ = &registry.counter("flymon_epochs_total");
+    epoch_packets_ = &registry.histogram("flymon_epoch_packets");
+    prev_saturation_.clear();
+  }
+
+  /// Run a time-sorted trace.  Epoch windows are aligned to the first
+  /// packet's timestamp (rounded down to a whole window) so traces with a
+  /// large absolute start time do not spin through empty leading windows.
+  /// For each epoch, packets are processed, then
   /// `readout(epoch_index, packets_of_epoch)` runs against the frozen
   /// registers, then registers are cleared.  Returns the number of epochs.
   template <typename Readout>
   unsigned run(std::span<const Packet> trace, Readout&& readout) {
+    if (trace.empty()) return 0;
+    const std::uint64_t origin = (trace.front().ts_ns / epoch_ns_) * epoch_ns_;
     unsigned epoch = 0;
     std::size_t begin = 0;
     while (begin < trace.size()) {
       const std::uint64_t window_end =
-          (static_cast<std::uint64_t>(epoch) + 1) * epoch_ns_;
+          origin + (static_cast<std::uint64_t>(epoch) + 1) * epoch_ns_;
       std::size_t end = begin;
       while (end < trace.size() && trace[end].ts_ns < window_end) ++end;
       for (std::size_t i = begin; i < end; ++i) dp_->process(trace[i]);
+      record_epoch(end - begin);
       readout(epoch, trace.subspan(begin, end - begin));
       dp_->clear_registers();
       begin = end;
@@ -41,8 +63,31 @@ class EpochRunner {
   }
 
  private:
+  void record_epoch(std::size_t packets) {
+    if (registry_ == nullptr) return;
+    epochs_counter_->inc();
+    epoch_packets_->observe(static_cast<double>(packets));
+    if (controller_ == nullptr || !telemetry::enabled()) return;
+    for (const TaskHealth& h : controller_->health()) {
+      const std::string id = std::to_string(h.task_id);
+      registry_->gauge("flymon_epoch_task_saturation", {{"task", id}})
+          .set(h.max_saturation);
+      const auto it = prev_saturation_.find(h.task_id);
+      if (it != prev_saturation_.end()) {
+        registry_->gauge("flymon_epoch_task_saturation_delta", {{"task", id}})
+            .set(h.max_saturation - it->second);
+      }
+      prev_saturation_[h.task_id] = h.max_saturation;
+    }
+  }
+
   FlyMonDataPlane* dp_;
   std::uint64_t epoch_ns_;
+  telemetry::Registry* registry_ = nullptr;
+  const Controller* controller_ = nullptr;
+  telemetry::Counter* epochs_counter_ = nullptr;
+  telemetry::Histogram* epoch_packets_ = nullptr;
+  std::map<std::uint32_t, double> prev_saturation_;
 };
 
 }  // namespace flymon::control

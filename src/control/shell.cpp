@@ -3,6 +3,8 @@
 #include <charconv>
 #include <sstream>
 
+#include "telemetry/export.hpp"
+
 namespace flymon::control {
 namespace {
 
@@ -160,6 +162,13 @@ std::string Shell::help() {
       "  entropy <id>           flow entropy estimate (MRAC)\n"
       "  occupancy <id>         register load factor of a task\n"
       "  rebalance              adaptive grow/shrink of every task's memory\n"
+      "  telemetry              live per-group/CMU counters + task health\n"
+      "  telemetry on|off       enable/disable metric collection\n"
+      "  telemetry json|prom [path]   export metrics (JSON / Prometheus text)\n"
+      "  telemetry reset        zero every metric\n"
+      "  trace on [1-in-N]      sample packet traces into a ring buffer\n"
+      "  trace off | status     stop sampling / show tracer state\n"
+      "  trace dump [path]      dump sampled PHV traces as JSON\n"
       "  list | stats | help";
 }
 
@@ -180,6 +189,8 @@ std::string Shell::execute(const std::string& line) {
   if (cmd == "entropy") return cmd_entropy(args);
   if (cmd == "occupancy") return cmd_occupancy(args);
   if (cmd == "rebalance") return cmd_rebalance();
+  if (cmd == "telemetry") return cmd_telemetry(args);
+  if (cmd == "trace") return cmd_trace(args);
   return "error: unknown command '" + cmd + "' (try 'help')";
 }
 
@@ -323,7 +334,142 @@ std::string Shell::cmd_stats() const {
     }
   }
   out << "tasks: " << ctl_->num_tasks();
+  out << "\npackets processed: " << dp.packets_processed();
+  out << "\ntelemetry: " << (telemetry::enabled() ? "on" : "off");
+  out << ", tracing: ";
+  if (dp.tracer() != nullptr) {
+    out << "on (1-in-" << dp.tracer()->sample_every() << ", "
+        << dp.tracer()->size() << "/" << dp.tracer()->capacity() << " records)";
+  } else {
+    out << "off";
+  }
   return out.str();
+}
+
+std::string Shell::cmd_telemetry(const std::vector<std::string>& args) {
+  telemetry::Registry& reg = ctl_->registry();
+  if (!args.empty()) {
+    const std::string& sub = args[0];
+    if (sub == "on") {
+      telemetry::set_enabled(true);
+      return "telemetry enabled";
+    }
+    if (sub == "off") {
+      telemetry::set_enabled(false);
+      return "telemetry disabled";
+    }
+    if (sub == "reset") {
+      reg.reset_values();
+      return "telemetry metrics zeroed";
+    }
+    if (sub == "json" || sub == "prom") {
+      ctl_->collect_telemetry();
+      const std::string text = sub == "json" ? telemetry::to_json(reg)
+                                             : telemetry::to_prometheus(reg);
+      if (args.size() >= 2) {
+        if (!telemetry::write_file(args[1], text)) {
+          return "error: cannot write '" + args[1] + "'";
+        }
+        return "wrote " + std::to_string(text.size()) + " bytes to " + args[1];
+      }
+      return text;
+    }
+    return "error: usage: telemetry [on|off|reset|json|prom [path]]";
+  }
+
+  // Human-readable summary of the live counters and per-task health.
+  ctl_->collect_telemetry();
+  std::ostringstream out;
+  auto& dp = ctl_->dataplane();
+  out << "telemetry " << (telemetry::enabled() ? "on" : "off") << ", "
+      << dp.packets_processed() << " packets processed\n";
+  out << "group cmu updates      sampled-out  aborts       occupancy  tasks\n";
+  for (unsigned g = 0; g < dp.num_groups(); ++g) {
+    for (unsigned c = 0; c < dp.group(g).num_cmus(); ++c) {
+      const telemetry::Labels labels = {{"group", std::to_string(g)},
+                                        {"cmu", std::to_string(c)}};
+      const std::uint64_t updates =
+          reg.counter("flymon_cmu_updates_total", labels).value();
+      const std::uint64_t sampled =
+          reg.counter("flymon_cmu_sampled_out_total", labels).value();
+      const std::uint64_t aborts =
+          reg.counter("flymon_cmu_prep_aborts_total", labels).value();
+      const std::size_t installed = dp.group(g).cmu(c).entries().size();
+      if (updates == 0 && sampled == 0 && aborts == 0 && installed == 0) continue;
+      char line[160];
+      std::snprintf(line, sizeof line, "%-5u %-3u %-12llu %-12llu %-12llu %-10.4f %zu\n",
+                    g, c, static_cast<unsigned long long>(updates),
+                    static_cast<unsigned long long>(sampled),
+                    static_cast<unsigned long long>(aborts),
+                    dp.group(g).cmu(c).register_occupancy(), installed);
+      out << line;
+    }
+  }
+  out << "task  algorithm        rows  buckets  rules  delay-ms  saturation\n";
+  for (const TaskHealth& h : ctl_->health()) {
+    char line[200];
+    std::snprintf(line, sizeof line, "%-5u %-16s %-5u %-8u %-6u %-9.1f",
+                  h.task_id, to_string(h.algorithm), h.rows, h.buckets,
+                  h.table_rules + h.hash_mask_rules, h.cumulative_delay_ms);
+    out << line;
+    for (std::size_t r = 0; r < h.row_saturation.size(); ++r) {
+      char sat[16];
+      std::snprintf(sat, sizeof sat, "%s%.4f", r == 0 ? "" : "/",
+                    h.row_saturation[r]);
+      out << sat;
+    }
+    out << "\n";
+  }
+  if (ctl_->num_tasks() == 0) out << "(no tasks)\n";
+  out << "(use 'telemetry json|prom [path]' to export)";
+  return out.str();
+}
+
+std::string Shell::cmd_trace(const std::vector<std::string>& args) {
+  auto& dp = ctl_->dataplane();
+  if (args.empty() || args[0] == "status") {
+    std::ostringstream out;
+    if (dp.tracer() != nullptr) {
+      out << "tracing on: 1-in-" << tracer_->sample_every() << ", "
+          << tracer_->size() << "/" << tracer_->capacity() << " records, "
+          << tracer_->packets_seen() << " packets seen";
+    } else if (tracer_ != nullptr) {
+      out << "tracing off (" << tracer_->size() << " records buffered; 'trace dump')";
+    } else {
+      out << "tracing off";
+    }
+    return out.str();
+  }
+  const std::string& sub = args[0];
+  if (sub == "on") {
+    std::uint64_t every = 64;
+    if (args.size() >= 2) {
+      const auto n = parse_u64(args[1]);
+      if (!n || *n == 0) return "error: bad sample rate";
+      every = *n;
+    }
+    if (tracer_ == nullptr) tracer_ = std::make_unique<telemetry::PacketTracer>(256, every);
+    tracer_->set_sample_every(every);
+    dp.set_tracer(tracer_.get());
+    return "tracing on: 1 in " + std::to_string(every) + " packets, ring of " +
+           std::to_string(tracer_->capacity());
+  }
+  if (sub == "off") {
+    dp.set_tracer(nullptr);
+    return "tracing off";
+  }
+  if (sub == "dump") {
+    if (tracer_ == nullptr) return "error: tracer never started";
+    const std::string text = tracer_->to_json();
+    if (args.size() >= 2) {
+      if (!telemetry::write_file(args[1], text)) {
+        return "error: cannot write '" + args[1] + "'";
+      }
+      return "wrote " + std::to_string(tracer_->size()) + " trace records to " + args[1];
+    }
+    return text;
+  }
+  return "error: usage: trace [on [1-in-N]|off|dump [path]|status]";
 }
 
 std::string Shell::cmd_query(const std::vector<std::string>& args) const {

@@ -5,12 +5,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "control/adaptive.hpp"
 #include "control/controller.hpp"
+#include "telemetry/trace_ring.hpp"
 
 namespace flymon::control {
 
@@ -45,9 +47,12 @@ class Shell {
   std::string cmd_entropy(const std::vector<std::string>& args) const;
   std::string cmd_occupancy(const std::vector<std::string>& args);
   std::string cmd_rebalance();
+  std::string cmd_telemetry(const std::vector<std::string>& args);
+  std::string cmd_trace(const std::vector<std::string>& args);
 
   Controller* ctl_;
   AdaptiveMemoryManager adaptive_;
+  std::unique_ptr<telemetry::PacketTracer> tracer_;
 };
 
 }  // namespace flymon::control

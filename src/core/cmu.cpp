@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/hash.hpp"
+#include "telemetry/trace_ring.hpp"
 
 namespace flymon {
 
@@ -18,6 +19,39 @@ Cmu::Cmu(std::uint32_t register_buckets) : reg_(register_buckets), salu_(reg_) {
 }
 
 void Cmu::preload_op(StatefulOp op) { salu_.preload(op); }
+
+void Cmu::bind_telemetry(telemetry::Registry& registry, unsigned group,
+                         unsigned index) {
+  tel_ = Telemetry{};
+  tel_.registry = &registry;
+  tel_.group = group;
+  tel_.index = index;
+  const telemetry::Labels labels = {{"group", std::to_string(group)},
+                                    {"cmu", std::to_string(index)}};
+  tel_.updates = &registry.counter("flymon_cmu_updates_total", labels);
+  tel_.sampled_out = &registry.counter("flymon_cmu_sampled_out_total", labels);
+  tel_.prep_aborts = &registry.counter("flymon_cmu_prep_aborts_total", labels);
+}
+
+telemetry::Counter* Cmu::op_counter(StatefulOp op) {
+  const auto idx = static_cast<std::size_t>(op);
+  telemetry::Counter* c = tel_.ops[idx];
+  if (c == nullptr && tel_.registry != nullptr) {
+    c = tel_.ops[idx] = &tel_.registry->counter(
+        "flymon_salu_op_total", {{"group", std::to_string(tel_.group)},
+                                 {"cmu", std::to_string(tel_.index)},
+                                 {"op", dataplane::to_string(op)}});
+  }
+  return c;
+}
+
+double Cmu::register_occupancy() const noexcept {
+  std::uint32_t nonzero = 0;
+  for (std::uint32_t i = 0; i < reg_.size(); ++i) {
+    if (reg_.read(i) != 0) ++nonzero;
+  }
+  return static_cast<double>(nonzero) / static_cast<double>(reg_.size());
+}
 
 void Cmu::install(const CmuTaskEntry& entry) {
   if (!entry.key_sel.valid()) throw std::invalid_argument("Cmu::install: no key selected");
@@ -82,6 +116,7 @@ std::uint32_t Cmu::probe_address(const CmuTaskEntry& entry,
 std::optional<std::uint32_t> Cmu::process(const Packet& pkt,
                                           const std::vector<std::uint32_t>& unit_keys,
                                           PhvContext& ctx) {
+  const bool tel = telemetry::enabled() && tel_.updates != nullptr;
   for (const CmuTaskEntry& e : entries_) {
     if (!e.filter.matches(pkt.ft)) continue;
     if (e.sample_probability < 1.0) {
@@ -91,7 +126,10 @@ std::optional<std::uint32_t> Cmu::process(const Packet& pkt,
           hash64(std::span<const std::uint8_t>(ck.data(), ck.size()),
                  0xC01Full + e.task_id);
       const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
-      if (u >= e.sample_probability) continue;  // next matching task may run
+      if (u >= e.sample_probability) {
+        if (tel) tel_.sampled_out->inc();
+        continue;  // next matching task may run
+      }
     }
 
     const std::uint32_t addr = probe_address(e, unit_keys);
@@ -111,7 +149,20 @@ std::optional<std::uint32_t> Cmu::process(const Packet& pkt,
         p1 ^= (p1 >> 16) | (p1 << 16);
         const double u = static_cast<double>(p1) * 0x1.0p-32;
         const double total = e.coupon.draw_probability * e.coupon.num_coupons;
-        if (u >= total) return std::nullopt;  // no coupon drawn: no update
+        if (u >= total) {  // no coupon drawn: no update
+          if (tel) tel_.prep_aborts->inc();
+          if (ctx.trace != nullptr) {
+            telemetry::CmuTraceStep step;
+            step.group = tel_.group;
+            step.cmu = tel_.index;
+            step.task_id = e.task_id;
+            step.selected_key = CompressionStage::select(unit_keys, e.key_sel);
+            step.op = dataplane::to_string(e.op);
+            step.aborted = true;
+            ctx.trace->steps.push_back(step);
+          }
+          return std::nullopt;
+        }
         const auto idx = std::min<unsigned>(
             static_cast<unsigned>(u / e.coupon.draw_probability),
             e.coupon.num_coupons - 1);
@@ -149,6 +200,24 @@ std::optional<std::uint32_t> Cmu::process(const Packet& pkt,
     }
     if (e.chain_out != 0) {
       ctx.chain[e.chain_out] = (e.chain_fallback && result == 0) ? p2_raw : out;
+    }
+    if (tel) {
+      tel_.updates->inc();
+      if (telemetry::Counter* c = op_counter(e.op)) c->inc();
+    }
+    if (ctx.trace != nullptr) {
+      telemetry::CmuTraceStep step;
+      step.group = tel_.group;
+      step.cmu = tel_.index;
+      step.task_id = e.task_id;
+      step.selected_key = CompressionStage::select(unit_keys, e.key_sel);
+      step.sliced_key = e.key_slice.apply(step.selected_key);
+      step.address = addr;
+      step.op = dataplane::to_string(e.op);
+      step.p1 = p1;
+      step.p2 = p2;
+      step.result = out;
+      ctx.trace->steps.push_back(step);
     }
     return out;
   }

@@ -6,6 +6,7 @@
 // The compression stage is shared at the CMU-Group level (compression.hpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -18,6 +19,11 @@
 #include "dataplane/salu.hpp"
 #include "packet/exact.hpp"
 #include "packet/packet.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace flymon::telemetry {
+struct TraceRecord;
+}  // namespace flymon::telemetry
 
 namespace flymon {
 
@@ -112,6 +118,9 @@ struct CmuTaskEntry {
 /// Per-packet metadata carried between CMUs (PHV fields in hardware).
 struct PhvContext {
   std::unordered_map<std::uint32_t, std::uint32_t> chain;
+  /// Set when this packet is sampled for tracing; groups/CMUs append what
+  /// they did to the record.  Null for untraced packets.
+  telemetry::TraceRecord* trace = nullptr;
 
   std::uint32_t get(std::uint32_t channel) const noexcept {
     const auto it = chain.find(channel);
@@ -151,6 +160,14 @@ class Cmu {
   dataplane::RegisterArray& reg() noexcept { return reg_; }
   const dataplane::RegisterArray& reg() const noexcept { return reg_; }
 
+  /// Bind this CMU's instrumentation counters into `registry` under labels
+  /// group=`group`, cmu=`index`.  Called by CmuGroup at construction (to the
+  /// global registry) and again when a private registry is attached.
+  void bind_telemetry(telemetry::Registry& registry, unsigned group, unsigned index);
+
+  /// Fraction of register cells that are non-zero (computed on demand).
+  double register_occupancy() const noexcept;
+
   /// Evaluate a parameter selection for a probe packet (control-plane
   /// readout re-derives data-plane inputs, e.g. Bloom-filter bit indices).
   std::uint32_t resolve_param(const ParamSelect& sel, const Packet& pkt,
@@ -158,9 +175,24 @@ class Cmu {
                               const PhvContext& ctx) const noexcept;
 
  private:
+  /// Pre-resolved counters (no registry lookup on the packet path).  Per-op
+  /// counters are resolved lazily so only executed op kinds get a series.
+  struct Telemetry {
+    telemetry::Registry* registry = nullptr;
+    unsigned group = 0;
+    unsigned index = 0;
+    telemetry::Counter* updates = nullptr;       ///< matched + executed
+    telemetry::Counter* sampled_out = nullptr;   ///< matched, skipped by coin
+    telemetry::Counter* prep_aborts = nullptr;   ///< prep cancelled the update
+    std::array<telemetry::Counter*, 5> ops{};    ///< per StatefulOp kind
+  };
+
+  telemetry::Counter* op_counter(dataplane::StatefulOp op);
+
   dataplane::RegisterArray reg_;
   dataplane::Salu salu_;
   std::vector<CmuTaskEntry> entries_;
+  Telemetry tel_;
 };
 
 }  // namespace flymon

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "dataplane/tofino_model.hpp"
+#include "telemetry/trace_ring.hpp"
 
 namespace flymon {
 
@@ -17,11 +18,32 @@ CmuGroup::CmuGroup(unsigned group_id, const CmuGroupConfig& cfg)
   if (cfg.num_cmus == 0) throw std::invalid_argument("CmuGroup: zero CMUs");
   cmus_.reserve(cfg.num_cmus);
   for (unsigned i = 0; i < cfg.num_cmus; ++i) cmus_.emplace_back(cfg.register_buckets);
+  bind_telemetry(telemetry::Registry::global());
+}
+
+void CmuGroup::bind_telemetry(telemetry::Registry& registry) {
+  const telemetry::Labels labels = {{"group", std::to_string(id_)}};
+  packets_counter_ = &registry.counter("flymon_group_packets_total", labels);
+  hash_counter_ = &registry.counter("flymon_hash_invocations_total", labels);
+  for (unsigned i = 0; i < cmus_.size(); ++i) {
+    cmus_[i].bind_telemetry(registry, id_, i);
+  }
 }
 
 void CmuGroup::process(const Packet& pkt, PhvContext& ctx) {
   const CandidateKey key = serialize_candidate_key(pkt);
   const std::vector<std::uint32_t> unit_keys = compression_.compute(key);
+  if (telemetry::enabled()) {
+    packets_counter_->inc();
+    unsigned configured = 0;
+    for (unsigned u = 0; u < compression_.num_units(); ++u) {
+      if (compression_.spec_of(u)) ++configured;
+    }
+    hash_counter_->inc(configured);
+  }
+  if (ctx.trace != nullptr) {
+    ctx.trace->keys.push_back(telemetry::GroupKeys{id_, unit_keys});
+  }
   for (Cmu& c : cmus_) c.process(pkt, unit_keys, ctx);
 }
 

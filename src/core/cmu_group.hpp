@@ -55,11 +55,16 @@ class CmuGroup {
   /// PHV bits a group occupies (compressed keys + chain metadata).
   static unsigned phv_bits(const CmuGroupConfig& cfg = {});
 
+  /// (Re)bind this group's and its CMUs' counters into `registry`.
+  void bind_telemetry(telemetry::Registry& registry);
+
  private:
   unsigned id_;
   CmuGroupConfig cfg_;
   CompressionStage compression_;
   std::vector<Cmu> cmus_;
+  telemetry::Counter* packets_counter_ = nullptr;
+  telemetry::Counter* hash_counter_ = nullptr;
 };
 
 }  // namespace flymon

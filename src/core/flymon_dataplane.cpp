@@ -5,18 +5,50 @@ namespace flymon {
 FlyMonDataPlane::FlyMonDataPlane(unsigned num_groups, const CmuGroupConfig& cfg) {
   groups_.reserve(num_groups);
   for (unsigned g = 0; g < num_groups; ++g) groups_.emplace_back(g, cfg);
+  bind_telemetry(telemetry::Registry::global());
+}
+
+void FlyMonDataPlane::bind_telemetry(telemetry::Registry& registry) {
+  registry_ = &registry;
+  packets_counter_ = &registry.counter("flymon_packets_total");
+  for (CmuGroup& g : groups_) g.bind_telemetry(registry);
 }
 
 void FlyMonDataPlane::process(const Packet& pkt) {
   PhvContext ctx;
+  if (tracer_ != nullptr && tracer_->should_sample()) ctx.trace = tracer_->begin(pkt);
   for (CmuGroup& g : groups_) g.process(pkt, ctx);
   ++packets_;
+  packets_counter_->inc();
 }
 
 void FlyMonDataPlane::clear_registers() {
   for (CmuGroup& g : groups_) {
     for (unsigned i = 0; i < g.num_cmus(); ++i) g.cmu(i).reg().clear();
   }
+}
+
+void collect_dataplane_telemetry(const FlyMonDataPlane& dp,
+                                 telemetry::Registry& registry) {
+  for (unsigned g = 0; g < dp.num_groups(); ++g) {
+    const CmuGroup& grp = dp.group(g);
+    unsigned configured = 0;
+    for (unsigned u = 0; u < grp.compression().num_units(); ++u) {
+      if (grp.compression().spec_of(u)) ++configured;
+    }
+    registry.gauge("flymon_group_hash_units_configured",
+                   {{"group", std::to_string(g)}})
+        .set(configured);
+    for (unsigned c = 0; c < grp.num_cmus(); ++c) {
+      const telemetry::Labels labels = {{"group", std::to_string(g)},
+                                        {"cmu", std::to_string(c)}};
+      registry.gauge("flymon_cmu_register_occupancy", labels)
+          .set(grp.cmu(c).register_occupancy());
+      registry.gauge("flymon_cmu_tasks_installed", labels)
+          .set(static_cast<double>(grp.cmu(c).entries().size()));
+    }
+  }
+  registry.gauge("flymon_dataplane_groups").set(dp.num_groups());
 }
 
 }  // namespace flymon

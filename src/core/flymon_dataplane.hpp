@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/cmu_group.hpp"
+#include "telemetry/trace_ring.hpp"
 
 namespace flymon {
 
@@ -33,9 +34,28 @@ class FlyMonDataPlane {
   /// Clear all registers (start of a measurement epoch).
   void clear_registers();
 
+  /// Rebind all instrumentation counters (groups, CMUs, pipeline totals)
+  /// into `registry`.  Construction binds to telemetry::Registry::global().
+  void bind_telemetry(telemetry::Registry& registry);
+  telemetry::Registry& registry() const noexcept { return *registry_; }
+
+  /// Attach / detach a sampled-packet tracer (not owned).  While attached,
+  /// 1-in-N packets record their PHV transformations into the ring.
+  void set_tracer(telemetry::PacketTracer* tracer) noexcept { tracer_ = tracer; }
+  telemetry::PacketTracer* tracer() const noexcept { return tracer_; }
+
  private:
   std::vector<CmuGroup> groups_;
   std::uint64_t packets_ = 0;
+  telemetry::Registry* registry_ = nullptr;
+  telemetry::Counter* packets_counter_ = nullptr;
+  telemetry::PacketTracer* tracer_ = nullptr;
 };
+
+/// Set point-in-time dataplane gauges (per-CMU register occupancy, installed
+/// rules, configured hash units) in `registry`.  Cheap enough to call from a
+/// shell command; not meant for the packet path.
+void collect_dataplane_telemetry(const FlyMonDataPlane& dp,
+                                 telemetry::Registry& registry);
 
 }  // namespace flymon

@@ -1,0 +1,158 @@
+#include "telemetry/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace flymon::telemetry {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_number(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+namespace {
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Label block with an optional extra `le` label appended (histograms).
+std::string prom_labels(const Labels& labels, const std::string& le = {}) {
+  if (labels.empty() && le.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  if (!le.empty()) {
+    if (!first) out += ',';
+    out += "le=\"";
+    out += le;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const std::vector<MetricSample>& samples) {
+  std::string out;
+  std::string last_name;
+  for (const MetricSample& s : samples) {
+    if (s.name != last_name) {
+      out += "# TYPE " + s.name + " " + kind_name(s.kind) + "\n";
+      last_name = s.name;
+    }
+    if (s.kind == MetricKind::kHistogram) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < s.hist.counts.size(); ++i) {
+        cumulative += s.hist.counts[i];
+        const std::string le =
+            i < s.hist.bounds.size() ? format_number(s.hist.bounds[i]) : "+Inf";
+        out += s.name + "_bucket" + prom_labels(s.labels, le) + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += s.name + "_sum" + prom_labels(s.labels) + " " +
+             format_number(s.hist.sum) + "\n";
+      out += s.name + "_count" + prom_labels(s.labels) + " " +
+             std::to_string(s.hist.count) + "\n";
+    } else {
+      out += s.name + prom_labels(s.labels) + " " + format_number(s.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus(const Registry& registry) {
+  return to_prometheus(registry.snapshot());
+}
+
+std::string to_json(const std::vector<MetricSample>& samples) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(s.name) + "\",\"kind\":\"";
+    out += kind_name(s.kind);
+    out += "\",\"labels\":{";
+    bool lf = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!lf) out += ',';
+      lf = false;
+      out += "\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+    }
+    out += "}";
+    if (s.kind == MetricKind::kHistogram) {
+      out += ",\"count\":" + std::to_string(s.hist.count);
+      out += ",\"sum\":" + format_number(s.hist.sum);
+      out += ",\"buckets\":[";
+      for (std::size_t i = 0; i < s.hist.counts.size(); ++i) {
+        if (i != 0) out += ',';
+        const std::string le =
+            i < s.hist.bounds.size() ? format_number(s.hist.bounds[i]) : "\"+Inf\"";
+        out += "{\"le\":" + le + ",\"count\":" + std::to_string(s.hist.counts[i]) + "}";
+      }
+      out += ']';
+    } else {
+      out += ",\"value\":" + format_number(s.value);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_json(const Registry& registry) { return to_json(registry.snapshot()); }
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << content;
+  return static_cast<bool>(f);
+}
+
+}  // namespace flymon::telemetry

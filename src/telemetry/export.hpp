@@ -1,0 +1,31 @@
+// Exporters: Prometheus text exposition (0.0.4) and a JSON snapshot of a
+// metrics registry, plus the small JSON formatting helpers shared with the
+// trace dump and the bench --json writer.
+#pragma once
+
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace flymon::telemetry {
+
+/// Escape a string for inclusion in a JSON string literal (no quotes added).
+std::string json_escape(const std::string& s);
+
+/// Format a double the way both exporters do: integers print bare
+/// ("17"), fractions with up to 6 significant decimals ("0.421875").
+std::string format_number(double v);
+
+/// Prometheus text exposition of a snapshot.  Histograms expand to
+/// cumulative `_bucket{le=...}`, `_sum` and `_count` series.
+std::string to_prometheus(const std::vector<MetricSample>& samples);
+std::string to_prometheus(const Registry& registry);
+
+/// JSON object {"metrics":[{name, labels, kind, value | buckets}...]}.
+std::string to_json(const std::vector<MetricSample>& samples);
+std::string to_json(const Registry& registry);
+
+/// Write `content` to `path`; returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace flymon::telemetry

@@ -1,0 +1,187 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace flymon::telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool init_from_env() noexcept {
+  const char* v = std::getenv("FLYMON_TELEMETRY");
+  if (v != nullptr) {
+    const bool on = std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
+                    std::strcmp(v, "true") == 0;
+    set_enabled(on);
+  }
+  return enabled();
+}
+
+// ---------- Histogram ----------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  unsigned n) {
+  std::vector<double> out;
+  out.reserve(n);
+  double v = start;
+  for (unsigned i = 0; i < n; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+std::vector<double> Histogram::default_bounds() {
+  return exponential_bounds(1.0, 4.0, 12);  // 1 .. 4M
+}
+
+// ---------- Registry ----------
+
+std::string metric_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name;
+  key += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) key += ',';
+    key += labels[i].first;
+    key += "=\"";
+    key += labels[i].second;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Registry::Entry& Registry::find_or_create(const std::string& name,
+                                          const Labels& labels, MetricKind kind) {
+  // Caller holds mu_.
+  const std::string key = metric_key(name, labels);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry e;
+    e.name = name;
+    e.labels = labels;
+    e.kind = kind;
+    it = entries_.emplace(key, std::move(e)).first;
+  } else if (it->second.kind != kind) {
+    throw std::invalid_argument("Registry: metric '" + key +
+                                "' re-registered with a different kind");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_create(name, labels, MetricKind::kCounter);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_create(name, labels, MetricKind::kGauge);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const Labels& labels,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_create(name, labels, MetricKind::kHistogram);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *e.histogram;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  // entries_ is keyed by the canonical "name{labels}" string, so iteration
+  // order — and therefore exposition order — is deterministic.
+  for (const auto& [key, e] : entries_) {
+    MetricSample s;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.value = e.counter ? static_cast<double>(e.counter->value()) : 0.0;
+        break;
+      case MetricKind::kGauge:
+        s.value = e.gauge ? e.gauge->value() : 0.0;
+        break;
+      case MetricKind::kHistogram:
+        if (e.histogram) s.hist = e.histogram->snapshot();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, e] : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+}  // namespace flymon::telemetry

@@ -1,0 +1,86 @@
+// Sampled packet tracing: a fixed-size ring buffer of per-packet PHV
+// transformation records.  The data plane claims a record for 1-in-N packets
+// and the CMU pipeline appends what it did to that packet — compressed keys,
+// the dynamic key each CMU selected, the translated register address, the
+// stateful op and its result.  Dumpable as JSON to debug composite chains
+// (SuMax, CounterBraids, MaxInterarrival) without a debugger.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace flymon::telemetry {
+
+/// What one CMU did to a traced packet.
+struct CmuTraceStep {
+  unsigned group = 0;
+  unsigned cmu = 0;
+  std::uint32_t task_id = 0;       ///< physical task id of the matched entry
+  std::uint32_t selected_key = 0;  ///< compressed key after selector (pre-slice)
+  std::uint32_t sliced_key = 0;    ///< key slice used for addressing
+  std::uint32_t address = 0;       ///< translated register address
+  const char* op = "";             ///< stateful op name (static string)
+  std::uint32_t p1 = 0;            ///< parameter 1 after preparation
+  std::uint32_t p2 = 0;            ///< parameter 2 after preparation
+  std::uint32_t result = 0;        ///< SALU result / exported value
+  bool aborted = false;            ///< preparation aborted the update
+};
+
+/// Compressed keys one group computed for a traced packet.
+struct GroupKeys {
+  unsigned group = 0;
+  std::vector<std::uint32_t> unit_keys;
+};
+
+struct TraceRecord {
+  std::uint64_t seq = 0;    ///< index of the packet in arrival order
+  std::uint64_t ts_ns = 0;
+  FiveTuple ft{};
+  std::vector<GroupKeys> keys;
+  std::vector<CmuTraceStep> steps;
+};
+
+/// Fixed-capacity ring of trace records with 1-in-N sampling.  Single-writer
+/// (the data-plane thread); readers copy records out.
+class PacketTracer {
+ public:
+  explicit PacketTracer(std::size_t capacity = 256, std::uint64_t sample_every = 1024);
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  std::uint64_t sample_every() const noexcept { return every_; }
+  void set_sample_every(std::uint64_t n) noexcept { every_ = n == 0 ? 1 : n; }
+
+  /// Number of records currently held (<= capacity).
+  std::size_t size() const noexcept { return filled_; }
+  /// Packets seen / records taken since construction or clear().
+  std::uint64_t packets_seen() const noexcept { return seen_; }
+  std::uint64_t records_taken() const noexcept { return taken_; }
+
+  /// Per-packet sampling decision; advances the packet count.
+  bool should_sample() noexcept { return (seen_++ % every_) == 0; }
+
+  /// Claim the next ring slot for this packet and return it for the pipeline
+  /// to fill.  The pointer is valid until the next begin() call.
+  TraceRecord* begin(const Packet& pkt);
+
+  void clear() noexcept;
+
+  /// Records oldest-to-newest.
+  std::vector<TraceRecord> records() const;
+
+  /// JSON dump of the ring (array of records, oldest first).
+  std::string to_json() const;
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;    ///< next slot to claim
+  std::size_t filled_ = 0;
+  std::uint64_t seen_ = 0;
+  std::uint64_t taken_ = 0;
+  std::uint64_t every_;
+};
+
+}  // namespace flymon::telemetry

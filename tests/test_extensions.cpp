@@ -365,6 +365,39 @@ TEST(EpochRunner, SplitsTraceIntoWindows) {
   EXPECT_GE(epochs, 9u);
 }
 
+TEST(EpochRunner, AlignsToFirstPacket) {
+  // A trace whose timestamps start at a large absolute value (e.g. CAIDA
+  // epoch-relative nanoseconds) must not spin through tens of thousands of
+  // empty leading windows: windows are aligned to the first packet's
+  // timestamp rounded down to a whole epoch.
+  FlyMonDataPlane dp(1);
+  control::EpochRunner runner(dp, 100'000'000);  // 100 ms epochs
+  const std::uint64_t base = 7'777'000'000'123;  // ~2.2 hours in
+  std::vector<Packet> trace(4);
+  trace[0].ts_ns = base;
+  trace[1].ts_ns = base + 50'000'000;
+  trace[2].ts_ns = base + 150'000'000;
+  trace[3].ts_ns = base + 320'000'000;
+  std::vector<std::size_t> per_epoch;
+  const unsigned epochs = runner.run(trace, [&](unsigned, std::span<const Packet> pkts) {
+    per_epoch.push_back(pkts.size());
+  });
+  EXPECT_EQ(epochs, 4u);
+  ASSERT_EQ(per_epoch.size(), 4u);
+  EXPECT_EQ(per_epoch[0], 2u);
+  EXPECT_EQ(per_epoch[1], 1u);
+  EXPECT_EQ(per_epoch[2], 0u);  // interior empty window still reported
+  EXPECT_EQ(per_epoch[3], 1u);
+}
+
+TEST(EpochRunner, EmptyTraceIsZeroEpochs) {
+  FlyMonDataPlane dp(1);
+  control::EpochRunner runner(dp, 100'000'000);
+  const unsigned epochs =
+      runner.run(std::span<const Packet>{}, [](unsigned, auto) { FAIL(); });
+  EXPECT_EQ(epochs, 0u);
+}
+
 TEST(EpochRunner, RegistersClearedBetweenEpochs) {
   FlyMonDataPlane dp(9);
   control::Controller ctl(dp);
