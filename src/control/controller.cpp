@@ -122,6 +122,12 @@ BuddyAllocator& Controller::allocator(unsigned group, unsigned cmu) {
   return it->second;
 }
 
+const BuddyAllocator* Controller::find_allocator(unsigned group,
+                                                 unsigned cmu) const noexcept {
+  const auto it = allocators_.find(std::make_pair(group, cmu));
+  return it == allocators_.end() ? nullptr : &it->second;
+}
+
 std::optional<CompressedKeySelector> Controller::ensure_selector(
     unsigned group, const FlowKeySpec& spec, unsigned& mask_rules) {
   if (spec.empty()) return std::nullopt;
@@ -210,6 +216,40 @@ void Controller::gc_unreferenced_units() {
 }
 
 DeployResult Controller::deploy(const TaskSpec& spec, std::uint32_t public_id) {
+  DeployedTask staged;
+  DeployResult result;
+  try {
+    result = deploy_impl(spec, public_id, staged);
+  } catch (const std::exception& ex) {
+    // No task-mutation path may leak an exception mid-operation: undo every
+    // unit/partition staged so far so the data plane is byte-identical to
+    // its pre-deploy state, then fail the result instead.
+    undo_deployment(staged);
+    tasks_.erase(public_id);
+    gc_unreferenced_units();
+    deploy_failures_counter_->inc();
+    result = DeployResult{};
+    result.error = std::string("deployment aborted: ") + ex.what();
+    return result;
+  }
+  if (!result.ok || !paranoid_) return result;
+  // Paranoid gate: dry-run the static verifier over the committed state;
+  // any error diagnostic rolls the deployment back.
+  last_verify_errors_ = run_verify_gate();
+  if (last_verify_errors_.empty()) return result;
+  auto it = tasks_.find(public_id);
+  if (it != tasks_.end()) {
+    undo_deployment(it->second);
+    tasks_.erase(it);
+  }
+  deploy_failures_counter_->inc();
+  result = DeployResult{};
+  result.error = "paranoid verify rejected deployment:\n" + last_verify_errors_;
+  return result;
+}
+
+DeployResult Controller::deploy_impl(const TaskSpec& spec, std::uint32_t public_id,
+                                     DeployedTask& t) {
   DeployResult result;
   const Algorithm algo = resolve_algorithm(spec);
   const FlowKeySpec key_spec = effective_key(spec);
@@ -219,7 +259,6 @@ DeployResult Controller::deploy(const TaskSpec& spec, std::uint32_t public_id) {
   }
   unsigned rows = std::max(1u, spec.rows);
 
-  DeployedTask t;
   t.id = public_id;
   t.spec = spec;
   t.algorithm = algo;
@@ -498,6 +537,15 @@ DeployResult Controller::deploy(const TaskSpec& spec, std::uint32_t public_id) {
                   e.output_old_value = true;
                   e.chain_out = ch_a;
                 } else {  // parity toggle in the reserved XOR slot
+                  // The toggle needs the fourth SALU action slot; skip CMUs
+                  // whose slot is already taken by another preload instead
+                  // of letting preload_op throw mid-deployment.
+                  if (!dp_->group(g).cmu(c).salu().has_op(StatefulOp::kXor) &&
+                      dp_->group(g).cmu(c).salu().loaded_ops() >=
+                          dataplane::TofinoModel::kMaxRegisterActions) {
+                    allocator(g, c).release(*part);
+                    continue;
+                  }
                   dp_->group(g).cmu(c).preload_op(StatefulOp::kXor);
                   e.op = StatefulOp::kXor;
                   e.prep = PrepFn::kBitSelectOneHotGated;
@@ -581,6 +629,9 @@ bool Controller::remove_task(std::uint32_t id) {
   undo_deployment(it->second);
   tasks_.erase(it);
   removals_counter_->inc();
+  // Removal never rolls back, but paranoid mode still re-verifies so that
+  // residual corruption surfaces through last_verify_errors().
+  if (paranoid_) last_verify_errors_ = run_verify_gate();
   return true;
 }
 

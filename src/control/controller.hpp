@@ -106,6 +106,22 @@ class Controller {
   std::uint32_t free_buckets(unsigned group, unsigned cmu) const;
   AllocMode alloc_mode() const noexcept { return mode_; }
   TranslationStrategy strategy() const noexcept { return strategy_; }
+  /// The buddy allocator backing (group, cmu), or nullptr when the CMU has
+  /// never been allocated from.  Read-only: the static verifier audits
+  /// placements against the allocator's live blocks.
+  const BuddyAllocator* find_allocator(unsigned group, unsigned cmu) const noexcept;
+
+  // ---- static verification (src/verify) ----
+  /// Paranoid mode: every deploy (add/resize/split) runs the full static
+  /// verifier after committing; error diagnostics roll the deployment back
+  /// and fail the DeployResult.  remove_task re-verifies too and surfaces
+  /// residual corruption via last_verify_errors().  Off by default (tests
+  /// enable it); the shell toggles it with `verify paranoid on|off`.
+  void set_paranoid(bool on) noexcept { paranoid_ = on; }
+  bool paranoid() const noexcept { return paranoid_; }
+  /// Formatted error diagnostics of the most recent paranoid check that
+  /// failed (empty when the last check was clean or paranoid mode is off).
+  const std::string& last_verify_errors() const noexcept { return last_verify_errors_; }
 
   // ---- control-plane readout ----
   /// Frequency / Max estimate for one flow (min across rows).
@@ -174,6 +190,10 @@ class Controller {
   };
 
   DeployResult deploy(const TaskSpec& spec, std::uint32_t public_id);
+  /// Placement/installation body of deploy().  `t` is the staged task the
+  /// exception-safe wrapper rolls back if this throws mid-operation.
+  DeployResult deploy_impl(const TaskSpec& spec, std::uint32_t public_id,
+                           DeployedTask& t);
   void undo_deployment(DeployedTask& t);
   void gc_unreferenced_units();
 
@@ -190,9 +210,16 @@ class Controller {
   std::uint64_t read_row_value(const DeployedTask& t, const RowPlacement& row,
                                const Packet& probe) const;
 
+  /// Paranoid-mode helper: full verifier pass; returns formatted error
+  /// diagnostics, empty when clean (implemented in src/verify/verifier.cpp
+  /// to keep the analyzer headers out of this one).
+  std::string run_verify_gate() const;
+
   FlyMonDataPlane* dp_;
   TranslationStrategy strategy_;
   AllocMode mode_;
+  bool paranoid_ = false;
+  std::string last_verify_errors_;
   telemetry::Registry* registry_ = nullptr;
   telemetry::Counter* deploys_counter_ = nullptr;
   telemetry::Counter* deploy_failures_counter_ = nullptr;

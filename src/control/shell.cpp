@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "telemetry/export.hpp"
+#include "verify/mutations.hpp"
+#include "verify/verifier.hpp"
 
 namespace flymon::control {
 namespace {
@@ -169,6 +171,11 @@ std::string Shell::help() {
       "  trace on [1-in-N]      sample packet traces into a ring buffer\n"
       "  trace off | status     stop sampling / show tracer state\n"
       "  trace dump [path]      dump sampled PHV traces as JSON\n"
+      "  verify                 run every static analyzer over the deployment\n"
+      "  verify list            list the registered analyzers\n"
+      "  verify <analyzer>      run one analyzer (resources|tcam|memory|tasks)\n"
+      "  verify paranoid on|off re-verify after every deploy/resize/remove\n"
+      "  verify selftest        seeded-corruption detection self-test\n"
       "  list | stats | help";
 }
 
@@ -191,6 +198,7 @@ std::string Shell::execute(const std::string& line) {
   if (cmd == "rebalance") return cmd_rebalance();
   if (cmd == "telemetry") return cmd_telemetry(args);
   if (cmd == "trace") return cmd_trace(args);
+  if (cmd == "verify") return cmd_verify(args);
   return "error: unknown command '" + cmd + "' (try 'help')";
 }
 
@@ -470,6 +478,48 @@ std::string Shell::cmd_trace(const std::vector<std::string>& args) {
     return text;
   }
   return "error: usage: trace [on [1-in-N]|off|dump [path]|status]";
+}
+
+std::string Shell::cmd_verify(const std::vector<std::string>& args) {
+  if (!args.empty() && args[0] == "paranoid") {
+    if (args.size() != 2 || (args[1] != "on" && args[1] != "off")) {
+      return "error: usage: verify paranoid on|off";
+    }
+    ctl_->set_paranoid(args[1] == "on");
+    return std::string("paranoid mode ") + (ctl_->paranoid() ? "on" : "off");
+  }
+  if (!args.empty() && args[0] == "list") {
+    std::ostringstream out;
+    const verify::Verifier verifier;
+    for (const auto& a : verifier.analyzers()) {
+      char line[160];
+      std::snprintf(line, sizeof line, "%-10s %s\n", std::string(a->name()).c_str(),
+                    std::string(a->description()).c_str());
+      out << line;
+    }
+    return out.str();
+  }
+  if (!args.empty() && args[0] == "selftest") {
+    const auto result = verify::run_mutation_self_test();
+    return verify::format(result) +
+           (result.passed() ? "selftest passed" : "selftest FAILED");
+  }
+
+  verify::VerifyContext ctx;
+  ctx.controller = ctl_;
+  ctx.dataplane = &ctl_->dataplane();
+  verify::VerifyReport report;
+  try {
+    report = args.empty() ? verify::Verifier{}.run(ctx)
+                          : verify::Verifier{}.run_one(args[0], ctx);
+  } catch (const std::invalid_argument& ex) {
+    return std::string("error: ") + ex.what() + " (try 'verify list')";
+  }
+  std::ostringstream out;
+  out << report.format();
+  out << report.count(verify::Severity::kError) << " error(s), "
+      << report.count(verify::Severity::kWarning) << " warning(s)";
+  return out.str();
 }
 
 std::string Shell::cmd_query(const std::vector<std::string>& args) const {

@@ -159,6 +159,8 @@ class Cmu {
 
   dataplane::RegisterArray& reg() noexcept { return reg_; }
   const dataplane::RegisterArray& reg() const noexcept { return reg_; }
+  /// Read-only SALU view (the verifier audits pre-loaded action slots).
+  const dataplane::Salu& salu() const noexcept { return salu_; }
 
   /// Bind this CMU's instrumentation counters into `registry` under labels
   /// group=`group`, cmu=`index`.  Called by CmuGroup at construction (to the

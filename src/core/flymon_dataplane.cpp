@@ -18,6 +18,7 @@ void FlyMonDataPlane::process(const Packet& pkt) {
   PhvContext ctx;
   if (tracer_ != nullptr && tracer_->should_sample()) ctx.trace = tracer_->begin(pkt);
   for (CmuGroup& g : groups_) g.process(pkt, ctx);
+  if (ctx.trace != nullptr) tracer_->commit();
   ++packets_;
   packets_counter_->inc();
 }

@@ -43,7 +43,7 @@ std::optional<MemoryPartition> BuddyAllocator::allocate(std::uint32_t size) {
     free_[block_size].push_back(base + block_size);
   }
   free_total_ -= size;
-  ++live_;
+  live_blocks_.emplace(base, size);
   return MemoryPartition{base, size};
 }
 
@@ -58,6 +58,11 @@ void BuddyAllocator::release(const MemoryPartition& p) {
         throw std::logic_error("BuddyAllocator::release: double release");
     }
   }
+  // Only exact blocks previously handed out by allocate() may come back.
+  const auto lit = live_blocks_.find(p.base);
+  if (lit == live_blocks_.end() || lit->second != p.size)
+    throw std::logic_error("BuddyAllocator::release: not a live block");
+  live_blocks_.erase(lit);
   std::uint32_t base = p.base;
   std::uint32_t size = p.size;
   // Coalesce with the buddy while it is free.
@@ -72,7 +77,18 @@ void BuddyAllocator::release(const MemoryPartition& p) {
   }
   free_[size].push_back(base);
   free_total_ += p.size;
-  if (live_ > 0) --live_;
+}
+
+bool BuddyAllocator::is_live(const MemoryPartition& p) const noexcept {
+  const auto it = live_blocks_.find(p.base);
+  return it != live_blocks_.end() && it->second == p.size;
+}
+
+std::vector<MemoryPartition> BuddyAllocator::live_partitions() const {
+  std::vector<MemoryPartition> out;
+  out.reserve(live_blocks_.size());
+  for (const auto& [base, size] : live_blocks_) out.push_back({base, size});
+  return out;
 }
 
 std::uint32_t BuddyAllocator::largest_free_block() const noexcept {

@@ -43,15 +43,23 @@ class BuddyAllocator {
   std::uint32_t free_buckets() const noexcept { return free_total_; }
   std::uint32_t largest_free_block() const noexcept;
   /// Number of live allocations.
-  std::size_t allocations() const noexcept { return live_; }
+  std::size_t allocations() const noexcept { return live_blocks_.size(); }
+
+  /// True iff `p` is exactly a block handed out by allocate() and not yet
+  /// released — the ground truth the static verifier audits placements
+  /// against.
+  bool is_live(const MemoryPartition& p) const noexcept;
+  /// Every live block, sorted by base address.
+  std::vector<MemoryPartition> live_partitions() const;
 
  private:
   std::uint32_t total_;
   std::uint32_t min_block_;
   std::uint32_t free_total_;
-  std::size_t live_ = 0;
   // free lists: size -> sorted bases
   std::map<std::uint32_t, std::vector<std::uint32_t>> free_;
+  // live allocations: base -> size (exact blocks returned by allocate)
+  std::map<std::uint32_t, std::uint32_t> live_blocks_;
 };
 
 }  // namespace flymon

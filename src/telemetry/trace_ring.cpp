@@ -10,26 +10,42 @@ PacketTracer::PacketTracer(std::size_t capacity, std::uint64_t sample_every)
     : ring_(capacity == 0 ? 1 : capacity), every_(sample_every == 0 ? 1 : sample_every) {}
 
 TraceRecord* PacketTracer::begin(const Packet& pkt) {
-  TraceRecord& r = ring_[head_];
-  head_ = (head_ + 1) % ring_.size();
-  if (filled_ < ring_.size()) ++filled_;
-  r = TraceRecord{};
-  r.seq = seen_ == 0 ? 0 : seen_ - 1;  // seq of the packet just sampled
-  r.ts_ns = pkt.ts_ns;
-  r.ft = pkt.ft;
-  ++taken_;
-  return &r;
+  scratch_ = TraceRecord{};
+  const std::uint64_t seen = seen_.load(std::memory_order_relaxed);
+  scratch_.seq = seen == 0 ? 0 : seen - 1;  // seq of the packet just sampled
+  scratch_.ts_ns = pkt.ts_ns;
+  scratch_.ft = pkt.ft;
+  scratch_live_ = true;
+  return &scratch_;
 }
 
-void PacketTracer::clear() noexcept {
+void PacketTracer::commit() {
+  if (!scratch_live_) return;
+  scratch_live_ = false;
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_[head_] = std::move(scratch_);
+  head_ = (head_ + 1) % ring_.size();
+  if (filled_ < ring_.size()) ++filled_;
+  taken_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t PacketTracer::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return filled_;
+}
+
+void PacketTracer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (TraceRecord& r : ring_) r = TraceRecord{};
   head_ = 0;
   filled_ = 0;
-  seen_ = 0;
-  taken_ = 0;
+  scratch_live_ = false;
+  seen_.store(0, std::memory_order_relaxed);
+  taken_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<TraceRecord> PacketTracer::records() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceRecord> out;
   out.reserve(filled_);
   // Oldest record: when the ring has wrapped it sits at head_, otherwise at 0.

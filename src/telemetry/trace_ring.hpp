@@ -6,7 +6,9 @@
 // (SuMax, CounterBraids, MaxInterarrival) without a debugger.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,43 +46,65 @@ struct TraceRecord {
 };
 
 /// Fixed-capacity ring of trace records with 1-in-N sampling.  Single-writer
-/// (the data-plane thread); readers copy records out.
+/// (the data-plane thread) fills a writer-private scratch record between
+/// begin() and commit(); commit() publishes it into the mutex-guarded ring, so
+/// concurrent readers (records(), to_json(), an exporter thread) only ever see
+/// completed records.
 class PacketTracer {
  public:
   explicit PacketTracer(std::size_t capacity = 256, std::uint64_t sample_every = 1024);
 
   std::size_t capacity() const noexcept { return ring_.size(); }
-  std::uint64_t sample_every() const noexcept { return every_; }
-  void set_sample_every(std::uint64_t n) noexcept { every_ = n == 0 ? 1 : n; }
+  std::uint64_t sample_every() const noexcept {
+    return every_.load(std::memory_order_relaxed);
+  }
+  void set_sample_every(std::uint64_t n) noexcept {
+    every_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
 
-  /// Number of records currently held (<= capacity).
-  std::size_t size() const noexcept { return filled_; }
-  /// Packets seen / records taken since construction or clear().
-  std::uint64_t packets_seen() const noexcept { return seen_; }
-  std::uint64_t records_taken() const noexcept { return taken_; }
+  /// Number of published records currently held (<= capacity).
+  std::size_t size() const;
+  /// Packets seen / records published since construction or clear().
+  std::uint64_t packets_seen() const noexcept {
+    return seen_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t records_taken() const noexcept {
+    return taken_.load(std::memory_order_relaxed);
+  }
 
   /// Per-packet sampling decision; advances the packet count.
-  bool should_sample() noexcept { return (seen_++ % every_) == 0; }
+  bool should_sample() noexcept {
+    return (seen_.fetch_add(1, std::memory_order_relaxed) %
+            every_.load(std::memory_order_relaxed)) == 0;
+  }
 
-  /// Claim the next ring slot for this packet and return it for the pipeline
-  /// to fill.  The pointer is valid until the next begin() call.
+  /// Start a record for this packet and return the writer-private scratch
+  /// slot for the pipeline to fill.  The pointer is valid until commit() (or
+  /// the next begin()); nothing is visible to readers until commit().
   TraceRecord* begin(const Packet& pkt);
 
-  void clear() noexcept;
+  /// Publish the record started by the last begin() into the ring.  No-op if
+  /// no record is pending.  Writer thread only.
+  void commit();
 
-  /// Records oldest-to-newest.
+  void clear();
+
+  /// Published records oldest-to-newest.
   std::vector<TraceRecord> records() const;
 
   /// JSON dump of the ring (array of records, oldest first).
   std::string to_json() const;
 
  private:
-  std::vector<TraceRecord> ring_;
-  std::size_t head_ = 0;    ///< next slot to claim
-  std::size_t filled_ = 0;
-  std::uint64_t seen_ = 0;
-  std::uint64_t taken_ = 0;
-  std::uint64_t every_;
+  std::vector<TraceRecord> ring_;  ///< guarded by mu_
+  TraceRecord scratch_;            ///< writer-private; published by commit()
+  bool scratch_live_ = false;      ///< writer-private
+  std::size_t head_ = 0;           ///< next slot to publish into; guarded by mu_
+  std::size_t filled_ = 0;         ///< guarded by mu_
+  std::atomic<std::uint64_t> seen_{0};
+  std::atomic<std::uint64_t> taken_{0};
+  std::atomic<std::uint64_t> every_;
+  mutable std::mutex mu_;
 };
 
 }  // namespace flymon::telemetry

@@ -1,0 +1,54 @@
+#include "verify/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace flymon::verify {
+
+const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+void VerifyReport::add(Severity severity, std::string check, std::string site,
+                       std::string message, std::string hint) {
+  diags_.push_back(Diagnostic{severity, std::move(check), std::move(site),
+                              std::move(message), std::move(hint)});
+}
+
+std::size_t VerifyReport::count(Severity s) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [&](const Diagnostic& d) { return d.severity == s; }));
+}
+
+bool VerifyReport::has_check(std::string_view check) const noexcept {
+  return std::any_of(diags_.begin(), diags_.end(),
+                     [&](const Diagnostic& d) { return d.check == check; });
+}
+
+std::string VerifyReport::format(Severity min_severity) const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity < min_severity) continue;
+    out << to_string(d.severity) << "  " << d.check << "  " << d.site << "  "
+        << d.message;
+    if (!d.hint.empty()) out << " (hint: " << d.hint << ")";
+    out << '\n';
+  }
+  return out.str();
+}
+
+void VerifyReport::merge(VerifyReport other) {
+  diags_.insert(diags_.end(), std::make_move_iterator(other.diags_.begin()),
+                std::make_move_iterator(other.diags_.end()));
+  analyzers_run.insert(analyzers_run.end(),
+                       std::make_move_iterator(other.analyzers_run.begin()),
+                       std::make_move_iterator(other.analyzers_run.end()));
+}
+
+}  // namespace flymon::verify

@@ -1,0 +1,57 @@
+// Structured diagnostics emitted by the static deployment verifier
+// (src/verify): severity, a dotted check id, the rule/site location, a
+// human message and a fix hint.  Reports are produced without executing a
+// single packet — the whole point is to catch broken deployments before
+// traffic does.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flymon::verify {
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarning, kError };
+
+const char* to_string(Severity s) noexcept;
+
+/// One finding.  `check` is a stable dotted id ("memory.overlap",
+/// "tcam.shadow", ...) that tests and the mutation self-test key on;
+/// `site` names the offending location ("g2.cmu1", "task 7", "stage 11").
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string check;
+  std::string site;
+  std::string message;
+  std::string hint;
+};
+
+class VerifyReport {
+ public:
+  void add(Severity severity, std::string check, std::string site,
+           std::string message, std::string hint = {});
+
+  const std::vector<Diagnostic>& diagnostics() const noexcept { return diags_; }
+  std::size_t count(Severity s) const noexcept;
+  bool has_errors() const noexcept { return count(Severity::kError) > 0; }
+  bool empty() const noexcept { return diags_.empty(); }
+
+  /// True iff some diagnostic carries this check id (any severity).
+  bool has_check(std::string_view check) const noexcept;
+
+  /// Names of the analyzers that contributed to this report.
+  std::vector<std::string> analyzers_run;
+
+  /// One line per diagnostic: "error  memory.overlap  g0.cmu1  <msg> (hint: ...)".
+  /// `min_severity` filters (e.g. kError renders errors only).
+  std::string format(Severity min_severity = Severity::kInfo) const;
+
+  /// Merge another report's findings (used by the registry runner).
+  void merge(VerifyReport other);
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace flymon::verify

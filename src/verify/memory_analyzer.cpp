@@ -1,0 +1,147 @@
+// Memory-safety analyzer: audits every live register partition against the
+// buddy-allocator discipline (paper §3.3) — power-of-two sized, aligned,
+// inside the register, pairwise disjoint per CMU — and every UnitPlacement
+// against the allocator's actual live blocks.
+#include <string>
+
+#include "common/bits.hpp"
+#include "verify/verifier.hpp"
+
+namespace flymon::verify {
+namespace {
+
+std::string cmu_site(unsigned g, unsigned c) {
+  return "g" + std::to_string(g) + ".cmu" + std::to_string(c);
+}
+
+std::string part_str(const MemoryPartition& p) {
+  return "[" + std::to_string(p.base) + ", " + std::to_string(p.end()) + ")";
+}
+
+class MemoryAnalyzer final : public Analyzer {
+ public:
+  std::string_view name() const noexcept override { return "memory"; }
+  std::string_view description() const noexcept override {
+    return "buddy-allocator audit: partition shape, disjointness, "
+           "placement/allocator agreement";
+  }
+
+  void run(const VerifyContext& ctx, VerifyReport& report) const override {
+    const FlyMonDataPlane& dp = *ctx.dataplane;
+    const control::Controller* ctl = ctx.controller;
+
+    for (unsigned g = 0; g < dp.num_groups(); ++g) {
+      for (unsigned c = 0; c < dp.group(g).num_cmus(); ++c) {
+        const Cmu& cmu = dp.group(g).cmu(c);
+        const auto& entries = cmu.entries();
+        const std::string site = cmu_site(g, c);
+        const BuddyAllocator* alloc =
+            ctl != nullptr ? ctl->find_allocator(g, c) : nullptr;
+
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+          const MemoryPartition& p = entries[i].partition;
+          const std::string who = "task " + std::to_string(entries[i].task_id);
+          if (p.size == 0 || !is_pow2(p.size)) {
+            report.add(Severity::kError, "memory.pow2", site,
+                       who + " partition " + part_str(p) +
+                           " is not a power-of-two block",
+                       "shift/TCAM address translation needs 2^n partitions");
+          } else if (p.base % p.size != 0) {
+            report.add(Severity::kError, "memory.align", site,
+                       who + " partition " + part_str(p) +
+                           " base is not size-aligned",
+                       "buddy blocks start at multiples of their size");
+          }
+          if (p.end() > cmu.reg().size()) {
+            report.add(Severity::kError, "memory.bounds", site,
+                       who + " partition " + part_str(p) + " escapes the " +
+                           std::to_string(cmu.reg().size()) + "-bucket register");
+          }
+          for (std::size_t j = 0; j < i; ++j) {
+            const MemoryPartition& q = entries[j].partition;
+            if (p.base < q.end() && q.base < p.end()) {
+              report.add(Severity::kError, "memory.overlap", site,
+                         who + " partition " + part_str(p) +
+                             " overlaps task " +
+                             std::to_string(entries[j].task_id) + " at " +
+                             part_str(q),
+                         "co-resident tasks need disjoint partitions");
+            }
+          }
+          if (alloc != nullptr && !alloc->is_live(p)) {
+            report.add(Severity::kError, "memory.orphan", site,
+                       who + " partition " + part_str(p) +
+                           " is not a live allocator block",
+                       "partitions must come from BuddyAllocator::allocate");
+          }
+        }
+
+        // The other direction: allocator blocks nothing references leak
+        // memory until the next epoch's garbage pass.
+        if (alloc != nullptr) {
+          for (const MemoryPartition& live : alloc->live_partitions()) {
+            bool referenced = false;
+            for (const auto& e : entries) {
+              if (e.partition == live) {
+                referenced = true;
+                break;
+              }
+            }
+            if (!referenced) {
+              report.add(Severity::kWarning, "memory.leak", site,
+                         "allocator block " + part_str(live) +
+                             " has no installed task entry");
+            }
+          }
+        }
+      }
+    }
+
+    // Controller placements must agree byte-for-byte with allocator blocks.
+    if (ctl != nullptr) {
+      for (const std::uint32_t id : ctl->task_ids()) {
+        const control::DeployedTask* t = ctl->task(id);
+        if (t == nullptr) continue;
+        for (const auto& row : t->rows) {
+          for (const auto& up : row.units) {
+            if (up.group >= dp.num_groups() ||
+                up.cmu >= dp.group(up.group).num_cmus()) {
+              report.add(Severity::kError, "memory.placement",
+                         "task " + std::to_string(id),
+                         "placement names g" + std::to_string(up.group) +
+                             ".cmu" + std::to_string(up.cmu) +
+                             ", outside the data plane");
+              continue;
+            }
+            const BuddyAllocator* alloc = ctl->find_allocator(up.group, up.cmu);
+            if (alloc != nullptr && !alloc->is_live(up.partition)) {
+              report.add(Severity::kError, "memory.orphan",
+                         cmu_site(up.group, up.cmu),
+                         "task " + std::to_string(id) + " placement partition " +
+                             part_str(up.partition) +
+                             " is unknown to the allocator");
+            }
+            const CmuTaskEntry* e =
+                dp.group(up.group).cmu(up.cmu).find(up.phys_id);
+            if (e != nullptr && !(e->partition == up.partition)) {
+              report.add(Severity::kError, "memory.placement",
+                         cmu_site(up.group, up.cmu),
+                         "task " + std::to_string(id) +
+                             " placement partition " + part_str(up.partition) +
+                             " disagrees with the installed entry " +
+                             part_str(e->partition));
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Analyzer> make_memory_analyzer() {
+  return std::make_unique<MemoryAnalyzer>();
+}
+
+}  // namespace flymon::verify

@@ -1,0 +1,277 @@
+#include "verify/mutations.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "verify/verifier.hpp"
+
+namespace flymon::verify {
+namespace {
+
+using control::Controller;
+using control::DeployedTask;
+using control::UnitPlacement;
+using dataplane::StatefulOp;
+
+/// First placed unit of the first deployed task.
+const UnitPlacement& first_placement(const Controller& ctl) {
+  for (const std::uint32_t id : ctl.task_ids()) {
+    const DeployedTask* t = ctl.task(id);
+    if (t != nullptr && !t->rows.empty() && !t->rows[0].units.empty()) {
+      return t->rows[0].units[0];
+    }
+  }
+  throw std::logic_error("mutation harness: no deployed placement");
+}
+
+const CmuTaskEntry& placed_entry(const MutableWorld& w, const UnitPlacement& up) {
+  const CmuTaskEntry* e = w.dp.group(up.group).cmu(up.cmu).find(up.phys_id);
+  if (e == nullptr) throw std::logic_error("mutation harness: entry missing");
+  return *e;
+}
+
+/// A raw entry installed behind the controller's back, reusing the placed
+/// entry's compressed key.  Sampled (< 1.0) so Cmu::install accepts it next
+/// to the deployment's full-rate filters.
+CmuTaskEntry raw_entry(const CmuTaskEntry& like, std::uint32_t task_id,
+                       TaskFilter filter, MemoryPartition part,
+                       std::uint32_t priority = 500) {
+  CmuTaskEntry e;
+  e.task_id = task_id;
+  e.filter = filter;
+  e.priority = priority;
+  e.sample_probability = 0.5;
+  e.key_sel = like.key_sel;
+  e.key_slice = like.key_slice;
+  e.partition = part;
+  e.op = StatefulOp::kCondAdd;
+  return e;
+}
+
+/// Configure one compression unit on an otherwise untouched group and hand
+/// back a selector for it (for mutations that build entries from scratch).
+CompressedKeySelector configure_unit(MutableWorld& w, unsigned group,
+                                     const FlowKeySpec& spec) {
+  auto& comp = w.dp.group(group).compression();
+  const auto u = comp.free_unit();
+  if (!u) throw std::logic_error("mutation harness: no free hash unit");
+  comp.configure(*u, spec);
+  return CompressedKeySelector{static_cast<std::int8_t>(*u), -1};
+}
+
+}  // namespace
+
+std::vector<Mutation> mutation_catalogue() {
+  std::vector<Mutation> cat;
+
+  cat.push_back({"overlapping-partition", "memory.overlap",
+                 "raw entry whose partition collides with a deployed task's block",
+                 [](MutableWorld& w) {
+                   const auto& up = first_placement(w.ctl);
+                   const auto& e = placed_entry(w, up);
+                   w.dp.group(up.group).cmu(up.cmu).install(raw_entry(
+                       e, 9001, TaskFilter::src(0xAC10'0000u, 12), e.partition));
+                 }});
+
+  cat.push_back({"non-pow2-partition", "memory.pow2",
+                 "entry with a 24-bucket partition (not a power of two)",
+                 [](MutableWorld& w) {
+                   const auto& up = first_placement(w.ctl);
+                   const auto& e = placed_entry(w, up);
+                   const std::uint32_t total =
+                       w.dp.group(up.group).cmu(up.cmu).reg().size();
+                   w.dp.group(up.group).cmu(up.cmu).install(
+                       raw_entry(e, 9002, TaskFilter::src(0xC0A8'0000u, 16),
+                                 MemoryPartition{total - 32, 24}));
+                 }});
+
+  cat.push_back({"misaligned-partition", "memory.align",
+                 "1024-bucket partition whose base is not size-aligned",
+                 [](MutableWorld& w) {
+                   const auto& up = first_placement(w.ctl);
+                   const auto& e = placed_entry(w, up);
+                   const std::uint32_t total =
+                       w.dp.group(up.group).cmu(up.cmu).reg().size();
+                   w.dp.group(up.group).cmu(up.cmu).install(
+                       raw_entry(e, 9003, TaskFilter::src(0xC0A8'0000u, 16),
+                                 MemoryPartition{total / 2 + 512, 1024}));
+                 }});
+
+  cat.push_back({"orphaned-placement", "task.placement",
+                 "table entry removed behind the controller's back",
+                 [](MutableWorld& w) {
+                   const auto& up = first_placement(w.ctl);
+                   w.dp.group(up.group).cmu(up.cmu).remove(up.phys_id);
+                 }});
+
+  cat.push_back({"shadowed-entry", "tcam.shadow",
+                 "sampled entry installed under a covering full-rate wildcard",
+                 [](MutableWorld& w) {
+                   const auto& up = first_placement(w.ctl);
+                   const auto& e = placed_entry(w, up);
+                   w.dp.group(up.group).cmu(up.cmu).install(
+                       raw_entry(e, 9005, TaskFilter::src(0x0A00'0000u, 8),
+                                 MemoryPartition{32768, 1024}, 500));
+                 }});
+
+  cat.push_back({"conflicting-priority", "tcam.conflict",
+                 "overlapping same-priority entries with divergent actions",
+                 [](MutableWorld& w) {
+                   const unsigned g = w.dp.num_groups() - 1;
+                   const auto sel =
+                       configure_unit(w, g, FlowKeySpec::src_ip());
+                   Cmu& cmu = w.dp.group(g).cmu(2);
+                   CmuTaskEntry a;
+                   a.task_id = 9006;
+                   a.filter = TaskFilter::src(0x0A00'0000u, 8);
+                   a.priority = 100;
+                   a.sample_probability = 0.5;
+                   a.key_sel = sel;
+                   a.partition = {0, 1024};
+                   a.op = StatefulOp::kCondAdd;
+                   CmuTaskEntry b = a;
+                   b.task_id = 9007;
+                   b.filter = TaskFilter::src(0x0A01'0000u, 16);
+                   b.partition = {1024, 1024};
+                   b.op = StatefulOp::kMax;
+                   cmu.install(a);
+                   cmu.install(b);
+                 }});
+
+  cat.push_back({"unloaded-operation", "task.op",
+                 "entry selecting XOR on a SALU that never pre-loaded it",
+                 [](MutableWorld& w) {
+                   const unsigned g = w.dp.num_groups() - 1;
+                   const auto sel =
+                       configure_unit(w, g, FlowKeySpec::dst_ip());
+                   Cmu& cmu = w.dp.group(g).cmu(1);
+                   CmuTaskEntry e;
+                   e.task_id = 9008;
+                   e.filter = TaskFilter::src(0x0A00'0000u, 8);
+                   e.sample_probability = 0.5;
+                   e.key_sel = sel;
+                   e.partition = {0, 1024};
+                   e.op = StatefulOp::kXor;
+                   cmu.install(e);
+                 }});
+
+  cat.push_back({"cleared-selector", "task.selector",
+                 "hash unit cleared while a deployed entry still reads it",
+                 [](MutableWorld& w) {
+                   const auto& up = first_placement(w.ctl);
+                   const auto& e = placed_entry(w, up);
+                   w.dp.group(up.group).compression().clear_unit(
+                       static_cast<unsigned>(e.key_sel.unit_a));
+                 }});
+
+  cat.push_back({"aliased-hash-specs", "task.alias",
+                 "two hash units of one group configured with the same key spec",
+                 [](MutableWorld& w) {
+                   const unsigned g = w.dp.num_groups() - 1;
+                   configure_unit(w, g, FlowKeySpec::five_tuple());
+                   configure_unit(w, g, FlowKeySpec::five_tuple());
+                 }});
+
+  cat.push_back({"plan-stage-collision", "resources.stage",
+                 "two groups cross-stacked onto the same start stage",
+                 [](MutableWorld& w) {
+                   if (w.plan.start_stage.size() < 2) {
+                     throw std::logic_error("mutation harness: plan too small");
+                   }
+                   w.plan.start_stage[1] = w.plan.start_stage[0];
+                 }});
+
+  return cat;
+}
+
+namespace {
+
+/// Deploy the mixed Table-1 scenario every mutation corrupts: a wildcard
+/// heavy-hitter CMS, a filtered Bloom filter, and a chained Odd Sketch
+/// (which also exercises the reserved XOR slot and chain channels).
+void deploy_base_scenario(Controller& ctl) {
+  TaskSpec cms;
+  cms.name = "hh";
+  cms.key = FlowKeySpec::src_ip();
+  cms.attribute = AttributeKind::kFrequency;
+  cms.algorithm = Algorithm::kCms;
+  cms.memory_buckets = 4096;
+
+  TaskSpec bloom;
+  bloom.name = "blacklist";
+  bloom.filter = TaskFilter::src(0x0A00'0000u, 8);
+  bloom.key = FlowKeySpec::ip_pair();
+  bloom.attribute = AttributeKind::kExistence;
+  bloom.algorithm = Algorithm::kBloomFilter;
+  bloom.memory_buckets = 16384;
+
+  TaskSpec odd;
+  odd.name = "similarity";
+  odd.filter = TaskFilter::dst(0xC0A8'0000u, 16);
+  odd.key = FlowKeySpec::src_ip();
+  odd.attribute = AttributeKind::kSimilarity;
+  odd.algorithm = Algorithm::kOddSketch;
+  odd.memory_buckets = 8192;
+
+  for (const TaskSpec& spec : {cms, bloom, odd}) {
+    const auto r = ctl.add_task(spec);
+    if (!r.ok) {
+      throw std::logic_error("mutation harness: base deploy failed: " + r.error);
+    }
+  }
+}
+
+}  // namespace
+
+bool SelfTestResult::passed() const noexcept {
+  return baseline_clean &&
+         std::all_of(cases.begin(), cases.end(),
+                     [](const SelfTestCase& c) { return c.detected; });
+}
+
+SelfTestResult run_mutation_self_test() {
+  SelfTestResult result;
+  {
+    FlyMonDataPlane dp(9);
+    Controller ctl(dp);
+    deploy_base_scenario(ctl);
+    auto plan = control::cross_stack(dataplane::TofinoModel::kNumStages,
+                                     dp.group(0).config());
+    const VerifyReport report = verify_deployment(ctl, &plan);
+    result.baseline_clean = report.empty();
+    result.baseline_diagnostics = report.format();
+  }
+
+  for (const Mutation& m : mutation_catalogue()) {
+    FlyMonDataPlane dp(9);
+    Controller ctl(dp);
+    deploy_base_scenario(ctl);
+    auto plan = control::cross_stack(dataplane::TofinoModel::kNumStages,
+                                     dp.group(0).config());
+    MutableWorld world{dp, ctl, plan};
+    m.apply(world);
+    const VerifyReport report = verify_deployment(ctl, &plan);
+    SelfTestCase c;
+    c.mutation = m.name;
+    c.expected_check = m.expected_check;
+    c.detected = report.has_check(m.expected_check);
+    c.diagnostics = report.format();
+    result.cases.push_back(std::move(c));
+  }
+  return result;
+}
+
+std::string format(const SelfTestResult& result) {
+  std::ostringstream out;
+  out << "baseline: " << (result.baseline_clean ? "clean" : "NOT CLEAN") << '\n';
+  if (!result.baseline_clean) out << result.baseline_diagnostics;
+  for (const SelfTestCase& c : result.cases) {
+    out << (c.detected ? "caught " : "MISSED ") << c.mutation << " (expected "
+        << c.expected_check << ")\n";
+    if (!c.detected) out << c.diagnostics;
+  }
+  return out.str();
+}
+
+}  // namespace flymon::verify

@@ -1,0 +1,55 @@
+// Mutation self-test harness: a catalogue of seeded deployment corruptions,
+// each of which the static verifier must flag with a specific check id.
+// Exercised by tests/test_verify.cpp and `flymon_verify --selftest`.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "control/crossstack.hpp"
+#include "core/flymon_dataplane.hpp"
+
+namespace flymon::verify {
+
+/// The fresh world a mutation corrupts: a 9-group data plane with a mixed
+/// Table-1 deployment plus its cross-stacking plan.
+struct MutableWorld {
+  FlyMonDataPlane& dp;
+  control::Controller& ctl;
+  control::CrossStackPlan& plan;
+};
+
+struct Mutation {
+  std::string name;
+  std::string expected_check;  ///< dotted diagnostic id that must appear
+  std::string description;
+  std::function<void(MutableWorld&)> apply;
+};
+
+/// The seeded-corruption catalogue (10 mutations).
+std::vector<Mutation> mutation_catalogue();
+
+struct SelfTestCase {
+  std::string mutation;
+  std::string expected_check;
+  bool detected = false;
+  std::string diagnostics;  ///< full formatted report of the mutated world
+};
+
+struct SelfTestResult {
+  bool baseline_clean = false;  ///< unmutated world verifies empty
+  std::string baseline_diagnostics;
+  std::vector<SelfTestCase> cases;
+
+  bool passed() const noexcept;
+};
+
+/// Build a fresh world per mutation, corrupt it, verify, and require the
+/// expected diagnostic.  The unmutated baseline must verify clean.
+SelfTestResult run_mutation_self_test();
+
+std::string format(const SelfTestResult& result);
+
+}  // namespace flymon::verify

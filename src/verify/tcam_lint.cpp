@@ -1,0 +1,86 @@
+#include "verify/tcam_lint.hpp"
+
+#include <sstream>
+
+namespace flymon::verify {
+
+using dataplane::TernaryPattern;
+
+bool covers(const TernaryPattern& a, const TernaryPattern& b) noexcept {
+  // a's care bits must be a subset of b's care bits and agree on them.
+  return (a.mask & ~b.mask) == 0 && ((a.value ^ b.value) & a.mask) == 0;
+}
+
+bool overlaps(const TernaryPattern& a, const TernaryPattern& b) noexcept {
+  return ((a.value ^ b.value) & a.mask & b.mask) == 0;
+}
+
+std::vector<LintFinding> lint_entries(const std::vector<LintEntry>& entries) {
+  std::vector<LintFinding> findings;
+  for (std::size_t j = 0; j < entries.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const LintEntry& a = entries[i];
+      const LintEntry& b = entries[j];
+      // Earlier terminal entry covering a later one: the later entry is
+      // unreachable.  Entries that sample (non-terminal) fall through on a
+      // coin skip, so they never fully shadow.
+      if (a.terminal && covers(a.pattern, b.pattern)) {
+        findings.push_back({LintFinding::Kind::kShadowed, j, i});
+        continue;  // a conflict report on a dead entry would be noise
+      }
+      // Same priority + overlapping patterns + divergent actions: which
+      // rule wins depends on install order, which reinstallation (resize,
+      // controller restart) does not preserve.
+      if (a.priority == b.priority && a.action != b.action &&
+          overlaps(a.pattern, b.pattern)) {
+        findings.push_back({LintFinding::Kind::kConflict, j, i});
+      }
+    }
+  }
+  return findings;
+}
+
+std::string check_range_reassembly(const std::vector<TernaryPattern>& patterns,
+                                   std::uint64_t lo, std::uint64_t hi,
+                                   unsigned width) {
+  const std::uint64_t full =
+      width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  std::ostringstream err;
+  std::uint64_t covered = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> blocks;  // base, size
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    const TernaryPattern& p = patterns[i];
+    if ((p.mask & ~full) != 0) {
+      err << "pattern " << i << " masks bits beyond the " << width << "-bit key";
+      return err.str();
+    }
+    const std::uint64_t low_zeros = ~p.mask & full;
+    if ((low_zeros & (low_zeros + 1)) != 0) {
+      err << "pattern " << i << " is not an aligned prefix block";
+      return err.str();
+    }
+    const std::uint64_t size = low_zeros + 1;
+    const std::uint64_t base = p.value & p.mask;
+    if (base < lo || base + size - 1 > hi) {
+      err << "pattern " << i << " block [" << base << ", " << (base + size - 1)
+          << "] escapes the range [" << lo << ", " << hi << "]";
+      return err.str();
+    }
+    for (const auto& [obase, osize] : blocks) {
+      if (base < obase + osize && obase < base + size) {
+        err << "pattern " << i << " overlaps an earlier expansion block";
+        return err.str();
+      }
+    }
+    blocks.emplace_back(base, size);
+    covered += size;
+  }
+  if (covered != hi - lo + 1) {
+    err << "expansion covers " << covered << " keys, range holds "
+        << (hi - lo + 1);
+    return err.str();
+  }
+  return {};
+}
+
+}  // namespace flymon::verify

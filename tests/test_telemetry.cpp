@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "control/epoch.hpp"
@@ -177,6 +179,7 @@ TEST(PacketTracer, RingKeepsNewestOldestFirst) {
     p.ts_ns = i;
     ASSERT_TRUE(tracer.should_sample());
     tracer.begin(p);
+    tracer.commit();
   }
   EXPECT_EQ(tracer.records_taken(), 5u);
   const auto recs = tracer.records();
@@ -223,6 +226,58 @@ TEST(PacketTracer, DataplaneFillsSteps) {
   const std::string json = tracer.to_json();
   EXPECT_NE(json.find("\"steps\""), std::string::npos);
   EXPECT_NE(json.find("\"op\":\"Cond-ADD\""), std::string::npos);
+}
+
+// Exercised under -fsanitize=thread (the `tsan` preset): the data-plane
+// thread publishes trace records while a monitoring thread snapshots them.
+// Readers must only ever observe fully committed records.
+TEST(PacketTracer, ConcurrentReaderSeesOnlyCommittedRecords) {
+  EnabledGuard on(true);
+  FlyMonDataPlane dp(1);
+  control::Controller ctl(dp);
+  TaskSpec s;
+  s.key = FlowKeySpec::five_tuple();
+  s.attribute = AttributeKind::kFrequency;
+  s.memory_buckets = 1024;
+  s.rows = 3;
+  ASSERT_TRUE(ctl.add_task(s).ok);
+
+  telemetry::PacketTracer tracer(16, 2);
+  dp.set_tracer(&tracer);
+  TraceConfig cfg;
+  cfg.num_flows = 32;
+  cfg.num_packets = 4000;
+  const auto packets = TraceGenerator::generate(cfg);
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (const auto& rec : tracer.records()) {
+        // Committed CMS records always carry all three row steps.
+        EXPECT_EQ(rec.steps.size(), 3u);
+      }
+      (void)tracer.size();
+      (void)tracer.to_json();
+      (void)tracer.packets_seen();
+      (void)tracer.records_taken();
+    }
+  });
+  std::thread tuner([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      tracer.set_sample_every(2);
+      (void)tracer.sample_every();
+      std::this_thread::yield();
+    }
+  });
+  for (const Packet& p : packets) dp.process(p);
+  done.store(true, std::memory_order_release);
+  reader.join();
+  tuner.join();
+  dp.set_tracer(nullptr);
+
+  EXPECT_EQ(tracer.packets_seen(), 4000u);
+  EXPECT_EQ(tracer.records_taken(), 2000u);
+  EXPECT_EQ(tracer.size(), 16u);
 }
 
 // ---- task health ----

@@ -1,0 +1,125 @@
+// flymon_verify: CI entry point for the static deployment verifier.
+//
+//   flymon_verify                 verify the built-in full-capacity scenario
+//                                 (9 groups / 27 CMUs of mixed Table-1 tasks)
+//   flymon_verify --scenario F    execute shell command lines from file F
+//                                 (one per line, '#' comments), then verify
+//   flymon_verify --selftest      seeded-corruption catalogue: every mutation
+//                                 must be flagged with its expected check id
+//   flymon_verify --paranoid      additionally gate every deploy on the
+//                                 verifier while the scenario runs
+//
+// Exit status: 0 when verification is clean of errors (and the self-test
+// passes), 1 otherwise.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "control/crossstack.hpp"
+#include "control/shell.hpp"
+#include "core/flymon_dataplane.hpp"
+#include "verify/mutations.hpp"
+#include "verify/verifier.hpp"
+
+namespace {
+
+// Nine 3-row tasks with pairwise-intersecting full-rate filters: the
+// controller spreads them one per CMU Group, so all 27 CMUs host a task.
+const char* const kDefaultScenario[] = {
+    "add name=heavy-hitter key=SrcIP attr=Frequency algo=CMS mem=4096",
+    "add name=size-dist key=SrcIP+DstIP attr=Frequency algo=Tower mem=8192",
+    "add name=blacklist key=IPPair attr=Existence algo=BloomFilter mem=16384",
+    "add name=congestion key=DstIP attr=Max algo=SuMaxMax param=QueueLen mem=4096",
+    "add name=port-scan key=SrcIP attr=Distinct algo=BeauCoup param=key:DstPort "
+    "threshold=100 mem=8192",
+    "add name=heavy-hitter-10 key=DstIP attr=Frequency algo=CMS mem=4096 "
+    "filter=10.0.0.0/8",
+    "add name=flow-size key=5Tuple attr=Frequency algo=Tower mem=8192",
+    "add name=seen-sources key=SrcIP attr=Existence algo=BloomFilter mem=8192",
+    "add name=max-bytes key=SrcIP attr=Max algo=SuMaxMax param=Bytes mem=4096",
+};
+
+int run_selftest() {
+  const auto result = flymon::verify::run_mutation_self_test();
+  std::cout << flymon::verify::format(result);
+  std::cout << (result.passed() ? "selftest passed" : "selftest FAILED") << '\n';
+  return result.passed() ? 0 : 1;
+}
+
+std::vector<std::string> load_scenario(const std::string& path, bool& ok) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  ok = in.good();
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool selftest = false;
+  bool paranoid = false;
+  std::string scenario_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--selftest") {
+      selftest = true;
+    } else if (arg == "--paranoid") {
+      paranoid = true;
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      scenario_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: flymon_verify [--scenario <file>] [--paranoid] "
+                   "[--selftest]\n";
+      return 0;
+    } else {
+      std::cerr << "error: unknown argument '" << arg << "' (--help)\n";
+      return 1;
+    }
+  }
+
+  if (selftest) return run_selftest();
+
+  std::vector<std::string> lines(std::begin(kDefaultScenario),
+                                 std::end(kDefaultScenario));
+  if (!scenario_path.empty()) {
+    bool ok = false;
+    lines = load_scenario(scenario_path, ok);
+    if (!ok) {
+      std::cerr << "error: cannot read scenario '" << scenario_path << "'\n";
+      return 1;
+    }
+  }
+
+  flymon::FlyMonDataPlane dp(9);
+  flymon::control::Controller ctl(dp);
+  ctl.set_paranoid(paranoid);
+  flymon::control::Shell shell(ctl);
+  for (const std::string& line : lines) {
+    const auto hash = line.find('#');
+    std::istringstream trimmed(hash == std::string::npos ? line
+                                                         : line.substr(0, hash));
+    std::string first;
+    if (!(trimmed >> first)) continue;  // blank / comment-only line
+    const std::string response = shell.execute(line.substr(0, hash));
+    if (response.rfind("error:", 0) == 0) {
+      std::cerr << "scenario failed at '" << line << "': " << response << '\n';
+      return 1;
+    }
+    std::cout << response << '\n';
+  }
+
+  const auto plan = flymon::control::cross_stack(
+      flymon::dataplane::TofinoModel::kNumStages, dp.group(0).config());
+  const auto report = flymon::verify::verify_deployment(ctl, &plan);
+  std::cout << report.format();
+  std::cout << ctl.num_tasks() << " task(s), "
+            << report.count(flymon::verify::Severity::kError) << " error(s), "
+            << report.count(flymon::verify::Severity::kWarning)
+            << " warning(s)\n";
+  return report.has_errors() ? 1 : 0;
+}
