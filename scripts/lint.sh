@@ -34,8 +34,20 @@ if [ "${1:-}" = "--changed" ]; then
   while IFS= read -r f; do
     case "$f" in
       src/*.cpp|tools/*.cpp|tests/*.cpp) [ -f "$f" ] && files+=("$f") ;;
+      src/*.hpp|tools/*.hpp|tests/*.hpp)
+        # Headers are not translation units: lint every .cpp that includes
+        # the changed header (HeaderFilterRegex surfaces its diagnostics).
+        [ -f "$f" ] || continue
+        inc="${f#src/}"
+        while IFS= read -r tu; do
+          files+=("$tu")
+        done < <(grep -rlF --include='*.cpp' "\"$inc\"" src tools tests || true)
+        ;;
     esac
   done < <(git diff --name-only --diff-filter=d "$ref"...HEAD)
+  if [ "${#files[@]}" -gt 0 ]; then
+    mapfile -t files < <(printf '%s\n' "${files[@]}" | sort -u)
+  fi
   if [ "${#files[@]}" -eq 0 ]; then
     echo "lint.sh: no changed C++ sources vs $ref"
     exit 0

@@ -1,6 +1,7 @@
 #include "analysis/metrics.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace flymon::analysis {
 
@@ -23,12 +24,16 @@ double average_relative_error(const std::vector<std::pair<double, double>>& pair
 
 double ClassificationScore::precision() const {
   const std::size_t denom = true_positives + false_positives;
-  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
 }
 
 double ClassificationScore::recall() const {
   const std::size_t denom = true_positives + false_negatives;
-  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
 }
 
 double ClassificationScore::f1() const {
@@ -52,6 +57,65 @@ ClassificationScore score_detection(const std::vector<FlowKeyValue>& truth,
   }
   s.false_negatives = truth_set.size() - s.true_positives;
   return s;
+}
+
+double cm_epsilon(std::uint32_t width) {
+  if (width == 0) return std::numeric_limits<double>::infinity();
+  return std::exp(1.0) / static_cast<double>(width);
+}
+
+double cm_delta(unsigned depth) { return std::exp(-static_cast<double>(depth)); }
+
+std::uint32_t cm_min_width(double epsilon) {
+  if (epsilon <= 0) return std::numeric_limits<std::uint32_t>::max();
+  const double w = std::ceil(std::exp(1.0) / epsilon);
+  if (w >= static_cast<double>(std::numeric_limits<std::uint32_t>::max())) {
+    return std::numeric_limits<std::uint32_t>::max();
+  }
+  return static_cast<std::uint32_t>(w);
+}
+
+unsigned cm_min_depth(double delta) {
+  if (delta >= 1.0) return 1;
+  if (delta <= 0) return std::numeric_limits<unsigned>::max();
+  return static_cast<unsigned>(std::ceil(std::log(1.0 / delta)));
+}
+
+double bloom_false_positive_rate(std::uint64_t bits, unsigned hashes,
+                                 std::uint64_t items) {
+  if (bits == 0) return 1.0;
+  if (hashes == 0 || items == 0) return 0.0;
+  const double k = static_cast<double>(hashes);
+  const double load = k * static_cast<double>(items) / static_cast<double>(bits);
+  return std::pow(1.0 - std::exp(-load), k);
+}
+
+std::uint64_t bloom_min_bits(double fpr, unsigned hashes, std::uint64_t items) {
+  if (fpr >= 1.0 || items == 0 || hashes == 0) return 0;
+  if (fpr <= 0) return std::numeric_limits<std::uint64_t>::max();
+  // Invert (1 - e^{-kn/m})^k = fpr for m.
+  const double k = static_cast<double>(hashes);
+  const double inner = 1.0 - std::pow(fpr, 1.0 / k);
+  if (inner <= 0 || inner >= 1.0) return std::numeric_limits<std::uint64_t>::max();
+  const double m = std::ceil(-k * static_cast<double>(items) / std::log(inner));
+  if (m >= static_cast<double>(std::numeric_limits<std::uint64_t>::max())) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(m);
+}
+
+double hll_relative_stddev(std::uint32_t registers) {
+  if (registers == 0) return std::numeric_limits<double>::infinity();
+  return 1.04 / std::sqrt(static_cast<double>(registers));
+}
+
+std::uint32_t hll_min_registers(double stddev) {
+  if (stddev <= 0) return std::numeric_limits<std::uint32_t>::max();
+  const double m = std::ceil((1.04 / stddev) * (1.04 / stddev));
+  if (m >= static_cast<double>(std::numeric_limits<std::uint32_t>::max())) {
+    return std::numeric_limits<std::uint32_t>::max();
+  }
+  return static_cast<std::uint32_t>(m);
 }
 
 double false_positive_rate(std::size_t false_positives, std::size_t negatives_total) {

@@ -35,6 +35,37 @@ ClassificationScore score_detection(const std::vector<FlowKeyValue>& truth,
 /// False-positive rate over probes known NOT to be members.
 double false_positive_rate(std::size_t false_positives, std::size_t true_negatives_total);
 
+// ---- closed-form accuracy bounds (paper §2 related work; used by the
+// ---- static accuracy-feasibility analyzer in src/verify) ----
+
+/// Count-Min error factor: with width w, the additive overestimate is at
+/// most eps*N with probability 1-delta, where eps = e/w.
+double cm_epsilon(std::uint32_t width);
+
+/// Count-Min failure probability for depth d rows: delta = e^-d.
+double cm_delta(unsigned depth);
+
+/// Minimum CM width so that cm_epsilon(w) <= epsilon (ceil(e/epsilon)).
+std::uint32_t cm_min_width(double epsilon);
+
+/// Minimum CM depth so that cm_delta(d) <= delta (ceil(ln(1/delta))).
+unsigned cm_min_depth(double delta);
+
+/// Bloom-filter false-positive rate (1 - e^{-k n / m})^k for m bits,
+/// k hash functions and n inserted items.
+double bloom_false_positive_rate(std::uint64_t bits, unsigned hashes,
+                                 std::uint64_t items);
+
+/// Minimum Bloom bits so the FPR stays <= `fpr` for `items` insertions with
+/// `hashes` hash functions.
+std::uint64_t bloom_min_bits(double fpr, unsigned hashes, std::uint64_t items);
+
+/// HyperLogLog relative standard deviation 1.04 / sqrt(m) for m registers.
+double hll_relative_stddev(std::uint32_t registers);
+
+/// Minimum HLL registers so hll_relative_stddev(m) <= stddev.
+std::uint32_t hll_min_registers(double stddev);
+
 /// ARE of a frequency-style estimator: for each flow in `truth`, look up
 /// its estimate via `estimate_fn(key)`.
 template <typename EstimateFn>

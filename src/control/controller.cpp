@@ -175,6 +175,20 @@ void Controller::unref_selector(unsigned group, const CompressedKeySelector& sel
 }
 
 DeployResult Controller::add_task(const TaskSpec& spec) {
+  if (paranoid_) {
+    // Pre-flight: dry-run the add against a shadow world before touching
+    // the live pipeline.  The post-commit gate in deploy() still runs —
+    // the pre-flight proves intent, the post-commit gate proves the
+    // commit — but a bad spec is now rejected with the live data plane
+    // never modified.
+    last_verify_errors_ = run_plan_gate(spec);
+    if (!last_verify_errors_.empty()) {
+      deploy_failures_counter_->inc();
+      DeployResult r;
+      r.error = "plan gate rejected deployment:\n" + last_verify_errors_;
+      return r;
+    }
+  }
   DeployResult r = deploy(spec, next_id_);
   if (r.ok) ++next_id_;
   return r;

@@ -17,6 +17,10 @@
 #include "core/memory_partition.hpp"
 #include "core/task.hpp"
 
+namespace flymon::verify {
+struct PlanResult;  // defined in verify/planner.hpp
+}  // namespace flymon::verify
+
 namespace flymon::control {
 
 /// One physical CMU used by a task row, with its register partition.
@@ -74,6 +78,25 @@ struct DeployResult {
   DeploymentReport report;
 };
 
+/// One staged reconfiguration operation for Controller::plan() — the
+/// dry-run planner replays it against a shadow world without touching the
+/// live data plane.  `task_id` refers to a *live* public task id; the
+/// planner maps it onto the shadow replica internally.
+struct PlanOp {
+  enum class Kind : std::uint8_t { kAdd, kRemove, kResize, kSplit };
+  Kind kind = Kind::kAdd;
+  TaskSpec spec{};               ///< kAdd only
+  std::uint32_t task_id = 0;     ///< kRemove / kResize / kSplit
+  std::uint32_t new_buckets = 0; ///< kResize only
+
+  static PlanOp add(TaskSpec spec);
+  static PlanOp remove(std::uint32_t id);
+  static PlanOp resize(std::uint32_t id, std::uint32_t new_buckets);
+  static PlanOp split(std::uint32_t id);
+};
+
+const char* to_string(PlanOp::Kind k) noexcept;
+
 class Controller {
  public:
   explicit Controller(FlyMonDataPlane& dp,
@@ -122,6 +145,13 @@ class Controller {
   /// Formatted error diagnostics of the most recent paranoid check that
   /// failed (empty when the last check was clean or paranoid mode is off).
   const std::string& last_verify_errors() const noexcept { return last_verify_errors_; }
+
+  /// Dry-run a batch of reconfiguration ops against a cloned shadow world:
+  /// replay the live tasks, apply the ops, run every analyzer, and return
+  /// the combined diagnostics.  The live data plane is never touched — the
+  /// shadow has its own FlyMonDataPlane, Controller and telemetry registry
+  /// (implemented in src/verify/planner.cpp).
+  verify::PlanResult plan(const std::vector<PlanOp>& ops) const;
 
   // ---- control-plane readout ----
   /// Frequency / Max estimate for one flow (min across rows).
@@ -214,6 +244,10 @@ class Controller {
   /// diagnostics, empty when clean (implemented in src/verify/verifier.cpp
   /// to keep the analyzer headers out of this one).
   std::string run_verify_gate() const;
+  /// Paranoid-mode pre-flight: dry-run plan() of the single add op; returns
+  /// the failure summary, empty when the plan is clean (implemented in
+  /// src/verify/planner.cpp).
+  std::string run_plan_gate(const TaskSpec& spec) const;
 
   FlyMonDataPlane* dp_;
   TranslationStrategy strategy_;

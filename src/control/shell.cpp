@@ -1,10 +1,12 @@
 #include "control/shell.hpp"
 
 #include <charconv>
+#include <cstdlib>
 #include <sstream>
 
 #include "telemetry/export.hpp"
 #include "verify/mutations.hpp"
+#include "verify/planner.hpp"
 #include "verify/verifier.hpp"
 
 namespace flymon::control {
@@ -32,6 +34,14 @@ std::optional<std::uint64_t> parse_u64(const std::string& s) {
   std::uint64_t v = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return std::nullopt;
   return v;
 }
 
@@ -69,6 +79,10 @@ std::optional<MetaField> parse_meta(const std::string& s) {
   if (s == "Timestamp") return MetaField::kTimestamp;
   return std::nullopt;
 }
+
+/// Shared by `add` and `plan add`; defined below cmd_add.
+std::string parse_task_spec(const std::vector<std::string>& args,
+                            TaskSpec& spec);
 
 /// "10.0.0.0/8" -> (ip, len).
 std::optional<std::pair<std::uint32_t, std::uint8_t>> parse_prefix(const std::string& s) {
@@ -156,6 +170,7 @@ std::string Shell::help() {
       "             LinearCounting|BloomFilter|SuMaxMax|MaxInterarrival|OddSketch>]\n"
       "      [mem=<buckets>] [rows=<d>] [filter=<ip/len>] [dstfilter=<ip/len>]\n"
       "      [threshold=<n>] [name=<text>]\n"
+      "      [eps=<err>] [delta=<prob>] [flows=<n>]   accuracy targets\n"
       "  remove <id>            retire a task and reclaim its resources\n"
       "  resize <id> <buckets>  reallocate memory (id is stable)\n"
       "  split <id>             split into two filter-halved subtasks\n"
@@ -173,9 +188,16 @@ std::string Shell::help() {
       "  trace dump [path]      dump sampled PHV traces as JSON\n"
       "  verify                 run every static analyzer over the deployment\n"
       "  verify list            list the registered analyzers\n"
-      "  verify <analyzer>      run one analyzer (resources|tcam|memory|tasks)\n"
+      "  verify <analyzer>      run one analyzer (resources|tcam|memory|tasks|\n"
+      "                         dataflow-key|dataflow-range|dataflow-accuracy)\n"
       "  verify paranoid on|off re-verify after every deploy/resize/remove\n"
       "  verify selftest        seeded-corruption detection self-test\n"
+      "  plan [show]            list the staged reconfiguration batch\n"
+      "  plan add <add-args>    stage a deploy (same arguments as 'add')\n"
+      "  plan remove <id> | resize <id> <buckets> | split <id>\n"
+      "  plan run               dry-run the batch on a shadow world + verify\n"
+      "  plan commit            apply the batch for real (only if clean)\n"
+      "  plan clear             drop the staged batch\n"
       "  list | stats | help";
 }
 
@@ -199,11 +221,126 @@ std::string Shell::execute(const std::string& line) {
   if (cmd == "telemetry") return cmd_telemetry(args);
   if (cmd == "trace") return cmd_trace(args);
   if (cmd == "verify") return cmd_verify(args);
+  if (cmd == "plan") return cmd_plan(args);
   return "error: unknown command '" + cmd + "' (try 'help')";
 }
 
-std::string Shell::cmd_add(const std::vector<std::string>& args) {
-  TaskSpec spec;
+std::string Shell::cmd_plan(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] == "show") {
+    if (pending_.empty()) return "(no staged ops; 'plan add ...' to stage)";
+    std::ostringstream out;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      const PlanOp& op = pending_[i];
+      out << i + 1 << ". " << to_string(op.kind);
+      switch (op.kind) {
+        case PlanOp::Kind::kAdd:
+          out << " \"" << op.spec.name << "\"";
+          break;
+        case PlanOp::Kind::kResize:
+          out << " task " << op.task_id << " -> " << op.new_buckets
+              << " buckets";
+          break;
+        default:
+          out << " task " << op.task_id;
+      }
+      out << '\n';
+    }
+    out << pending_.size() << " op(s) staged ('plan run' to dry-run)";
+    return out.str();
+  }
+  const std::string& sub = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (sub == "add") {
+    TaskSpec spec;
+    if (const std::string err = parse_task_spec(rest, spec); !err.empty()) {
+      return err;
+    }
+    pending_.push_back(PlanOp::add(std::move(spec)));
+    return "staged op " + std::to_string(pending_.size()) + ": add";
+  }
+  if (sub == "remove" || sub == "split") {
+    if (rest.size() != 1) return "error: usage: plan " + sub + " <id>";
+    const auto id = parse_u64(rest[0]);
+    if (!id || ctl_->task(static_cast<std::uint32_t>(*id)) == nullptr) {
+      return "error: unknown task";
+    }
+    pending_.push_back(sub == "remove"
+                           ? PlanOp::remove(static_cast<std::uint32_t>(*id))
+                           : PlanOp::split(static_cast<std::uint32_t>(*id)));
+    return "staged op " + std::to_string(pending_.size()) + ": " + sub;
+  }
+  if (sub == "resize") {
+    if (rest.size() != 2) return "error: usage: plan resize <id> <buckets>";
+    const auto id = parse_u64(rest[0]);
+    const auto buckets = parse_u64(rest[1]);
+    if (!id || !buckets) return "error: bad arguments";
+    if (ctl_->task(static_cast<std::uint32_t>(*id)) == nullptr) {
+      return "error: unknown task";
+    }
+    pending_.push_back(PlanOp::resize(static_cast<std::uint32_t>(*id),
+                                      static_cast<std::uint32_t>(*buckets)));
+    return "staged op " + std::to_string(pending_.size()) + ": resize";
+  }
+  if (sub == "clear") {
+    const std::size_t n = pending_.size();
+    pending_.clear();
+    return "cleared " + std::to_string(n) + " staged op(s)";
+  }
+  if (sub == "run") {
+    const verify::PlanResult result = ctl_->plan(pending_);
+    return result.format() + "(dry run; data plane untouched)";
+  }
+  if (sub == "commit") {
+    const verify::PlanResult result = ctl_->plan(pending_);
+    if (!result.ok) {
+      return result.format() +
+             "commit aborted; staged ops kept ('plan clear' to drop)";
+    }
+    std::ostringstream out;
+    for (const PlanOp& op : pending_) {
+      switch (op.kind) {
+        case PlanOp::Kind::kAdd: {
+          const DeployResult r = ctl_->add_task(op.spec);
+          if (!r.ok) return out.str() + "error applying add: " + r.error;
+          out << "task " << r.task_id << " deployed\n";
+          break;
+        }
+        case PlanOp::Kind::kRemove:
+          if (!ctl_->remove_task(op.task_id)) {
+            return out.str() + "error applying remove " +
+                   std::to_string(op.task_id);
+          }
+          out << "task " << op.task_id << " removed\n";
+          break;
+        case PlanOp::Kind::kResize: {
+          const DeployResult r = ctl_->resize_task(op.task_id, op.new_buckets);
+          if (!r.ok) return out.str() + "error applying resize: " + r.error;
+          out << "task " << op.task_id << " resized\n";
+          break;
+        }
+        case PlanOp::Kind::kSplit: {
+          const auto [lo, hi] = ctl_->split_task(op.task_id);
+          if (!lo.ok) return out.str() + "error applying split: " + lo.error;
+          out << "task " << op.task_id << " split into " << lo.task_id
+              << " + " << hi.task_id << '\n';
+          break;
+        }
+      }
+    }
+    out << pending_.size() << " op(s) committed";
+    pending_.clear();
+    return out.str();
+  }
+  return "error: usage: plan [show|add <args>|remove <id>|resize <id> "
+         "<buckets>|split <id>|run|commit|clear]";
+}
+
+namespace {
+
+/// Parse the `add` argument family into a TaskSpec.  Returns an error
+/// string ("" on success) so `add` and `plan add` share one parser.
+std::string parse_task_spec(const std::vector<std::string>& args,
+                            TaskSpec& spec) {
   if (const auto v = arg_value(args, "name")) spec.name = *v;
 
   if (const auto v = arg_value(args, "key")) {
@@ -267,6 +404,32 @@ std::string Shell::cmd_add(const std::vector<std::string>& args) {
     if (!p) return "error: bad dstfilter '" + *v + "'";
     spec.filter.dst_ip = p->first;
     spec.filter.dst_len = p->second;
+  }
+  // Accuracy targets for the dataflow-accuracy analyzer.
+  if (const auto v = arg_value(args, "eps")) {
+    const auto d = parse_double(*v);
+    if (!d || *d <= 0) return "error: bad eps";
+    spec.target_epsilon = *d;
+  }
+  if (const auto v = arg_value(args, "delta")) {
+    const auto d = parse_double(*v);
+    if (!d || *d <= 0) return "error: bad delta";
+    spec.target_delta = *d;
+  }
+  if (const auto v = arg_value(args, "flows")) {
+    const auto n = parse_u64(*v);
+    if (!n) return "error: bad flows";
+    spec.expected_items = *n;
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string Shell::cmd_add(const std::vector<std::string>& args) {
+  TaskSpec spec;
+  if (const std::string err = parse_task_spec(args, spec); !err.empty()) {
+    return err;
   }
 
   const DeployResult r = ctl_->add_task(spec);

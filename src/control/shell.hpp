@@ -50,10 +50,13 @@ class Shell {
   std::string cmd_telemetry(const std::vector<std::string>& args);
   std::string cmd_trace(const std::vector<std::string>& args);
   std::string cmd_verify(const std::vector<std::string>& args);
+  std::string cmd_plan(const std::vector<std::string>& args);
 
   Controller* ctl_;
   AdaptiveMemoryManager adaptive_;
   std::unique_ptr<telemetry::PacketTracer> tracer_;
+  /// Ops staged by the `plan` command family, applied by `plan commit`.
+  std::vector<PlanOp> pending_;
 };
 
 }  // namespace flymon::control

@@ -111,6 +111,15 @@ struct TaskSpec {
   std::uint64_t report_threshold = 0;    ///< for HH/DDoS style reporting
   double sample_probability = 1.0;       ///< probabilistic execution (§5.3)
   bool bloom_bit_packed = true;          ///< Existence: use all bucket bits (§4)
+
+  // Optional accuracy targets for the static feasibility analyzer
+  // (src/verify/dataflow_accuracy.cpp).  0 = unset: the deployment is not
+  // checked against any bound.  `target_epsilon` is the CM error factor /
+  // Bloom FPR / HLL relative stddev depending on the algorithm family;
+  // `expected_items` bounds Bloom insertions for the FPR estimate.
+  double target_epsilon = 0.0;
+  double target_delta = 0.0;
+  std::uint64_t expected_items = 0;
 };
 
 }  // namespace flymon

@@ -1,0 +1,252 @@
+#include "ir/ir.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "control/controller.hpp"
+#include "core/flymon_dataplane.hpp"
+
+namespace flymon::ir {
+namespace {
+
+using dataplane::StatefulOp;
+
+Interval meta_range(MetaField f) noexcept {
+  switch (f) {
+    case MetaField::kOne: return Interval::exact(1);
+    case MetaField::kWireBytes: return {0, 0xFFFFull};  // jumbo-frame bound
+    case MetaField::kQueueLen:
+    case MetaField::kQueueDelay:
+    case MetaField::kTimestamp: return Interval::full32();
+  }
+  return Interval::full32();
+}
+
+Interval slice_range(const KeySlice& slice) noexcept {
+  const unsigned eff = slice.offset >= 32
+                           ? 0u
+                           : std::min<unsigned>(slice.width, 32u - slice.offset);
+  if (eff >= 32) return Interval::full32();
+  return {0, (1ull << eff) - 1};
+}
+
+Interval param_range(const ParamSelect& sel) noexcept {
+  switch (sel.source) {
+    case ParamSelect::Source::kConst: return Interval::exact(sel.const_value);
+    case ParamSelect::Source::kMeta: return meta_range(sel.meta);
+    case ParamSelect::Source::kCompressedKey: return slice_range(sel.slice);
+    case ParamSelect::Source::kChain: return Interval::full32();
+  }
+  return Interval::full32();
+}
+
+ParamExpr lower_param(const ParamSelect& sel) {
+  ParamExpr p;
+  p.source = sel.source;
+  p.range = param_range(sel);
+  p.chain_derived = sel.source == ParamSelect::Source::kChain;
+  return p;
+}
+
+/// The preparation stage rewrites p1 before the SALU sees it.
+void apply_prep(PrepFn prep, ParamExpr& p1) {
+  switch (prep) {
+    case PrepFn::kNone:
+      break;
+    case PrepFn::kCouponOneHot:
+    case PrepFn::kBitSelectOneHot:
+    case PrepFn::kBitSelectOneHotGated:
+      // One-hot rewrite (or 0 when the update aborts).
+      p1.range = {0, 1ull << 31};
+      break;
+    case PrepFn::kSubtractGated:
+    case PrepFn::kKeepOnChainZero:
+      // Gated passthrough / saturating subtraction: never exceeds p1.
+      p1.range.lo = 0;
+      break;
+  }
+}
+
+KeyExpr lower_key(const CompressionStage& comp, const CompressedKeySelector& sel,
+                  const KeySlice& slice) {
+  KeyExpr k;
+  k.sel = sel;
+  k.slice = slice;
+  auto unit_sources = [&](std::int8_t u) -> std::optional<KeyBitSet> {
+    if (u < 0 || static_cast<unsigned>(u) >= comp.num_units()) return std::nullopt;
+    const auto& spec = comp.spec_of(static_cast<unsigned>(u));
+    if (!spec) return std::nullopt;
+    return spec_bits(*spec);
+  };
+  if (sel.unit_a >= 0 && sel.unit_a == sel.unit_b) {
+    // XOR of a unit with itself: the dynamic key is the constant 0.
+    k.self_cancelling = true;
+    return k;
+  }
+  const auto a = unit_sources(sel.unit_a);
+  if (!a) {
+    k.reads_unconfigured = sel.unit_a >= 0;
+    return k;
+  }
+  k.sources = *a;
+  if (sel.unit_b >= 0) {
+    const auto b = unit_sources(sel.unit_b);
+    if (!b) {
+      k.reads_unconfigured = true;
+      return k;
+    }
+    // CRC32 fully diffuses its unmasked input bits, so the XOR of two
+    // distinct units depends on the union of both masks.
+    k.sources |= *b;
+  }
+  return k;
+}
+
+AddressExpr lower_address(const KeySlice& slice, const MemoryPartition& part,
+                          std::uint64_t register_size) {
+  AddressExpr a;
+  a.eff_width = slice.offset >= 32
+                    ? 0u
+                    : std::min<unsigned>(slice.width, 32u - slice.offset);
+  a.in_bounds = part.size != 0 && std::has_single_bit(part.size) &&
+                static_cast<std::uint64_t>(part.base) + part.size <= register_size;
+  if (part.size == 0) {
+    a.reachable_cells = 0;
+    return a;
+  }
+  const unsigned size_log =
+      static_cast<unsigned>(std::bit_width(part.size)) - 1u;
+  // translate_address keeps the top size_log slice bits when the slice is
+  // wide enough; a narrower slice indexes the low cells only.
+  a.reachable_cells = a.eff_width >= size_log
+                          ? part.size
+                          : (1ull << a.eff_width);
+  return a;
+}
+
+}  // namespace
+
+KeyBitSet key_bits(const CandidateKey& mask) noexcept {
+  KeyBitSet bits;
+  for (std::size_t byte = 0; byte < mask.size(); ++byte) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      if (mask[byte] & (1u << bit)) bits.set(byte * 8 + bit);
+    }
+  }
+  return bits;
+}
+
+KeyBitSet spec_bits(const FlowKeySpec& spec) noexcept {
+  return key_bits(spec.mask());
+}
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t s = a + b;
+  return s < a ? std::numeric_limits<std::uint64_t>::max() : s;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  if (a > std::numeric_limits<std::uint64_t>::max() / b) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+const HashUnitNode* PipelineIr::unit(unsigned group, unsigned unit) const noexcept {
+  const std::size_t i =
+      static_cast<std::size_t>(group) * units_per_group + unit;
+  return i < units.size() ? &units[i] : nullptr;
+}
+
+const EntryNode* PipelineIr::find_entry(unsigned group, unsigned cmu,
+                                        std::uint32_t phys_id) const noexcept {
+  for (const EntryNode& e : entries) {
+    if (e.group == group && e.cmu == cmu && e.phys_id == phys_id) return &e;
+  }
+  return nullptr;
+}
+
+PipelineIr extract_ir(const FlyMonDataPlane& dp, const control::Controller* ctl,
+                      std::uint64_t packets_per_epoch) {
+  PipelineIr irx;
+  irx.packets_per_epoch = packets_per_epoch;
+  if (dp.num_groups() == 0) return irx;
+  irx.units_per_group = dp.group(0).compression().num_units();
+
+  for (unsigned g = 0; g < dp.num_groups(); ++g) {
+    const CompressionStage& comp = dp.group(g).compression();
+    for (unsigned u = 0; u < comp.num_units(); ++u) {
+      HashUnitNode n;
+      n.group = g;
+      n.unit = u;
+      const auto& spec = comp.spec_of(u);
+      n.configured = spec.has_value();
+      if (spec) {
+        n.spec = *spec;
+        n.sources = spec_bits(*spec);
+      }
+      irx.units.push_back(std::move(n));
+    }
+  }
+
+  for (unsigned g = 0; g < dp.num_groups(); ++g) {
+    const CmuGroup& grp = dp.group(g);
+    for (unsigned c = 0; c < grp.num_cmus(); ++c) {
+      const Cmu& cmu = grp.cmu(c);
+      for (const CmuTaskEntry& e : cmu.entries()) {
+        EntryNode n;
+        n.group = g;
+        n.cmu = c;
+        n.phys_id = e.task_id;
+        n.key = lower_key(grp.compression(), e.key_sel, e.key_slice);
+        n.p1 = lower_param(e.p1);
+        n.p2 = lower_param(e.p2);
+        n.prep = e.prep;
+        apply_prep(e.prep, n.p1);
+        n.chained = n.p1.chain_derived || n.p2.chain_derived ||
+                    e.chain_out != 0 || e.chain_gate != 0 || e.chain_fallback ||
+                    e.prep == PrepFn::kSubtractGated ||
+                    e.prep == PrepFn::kKeepOnChainZero ||
+                    e.prep == PrepFn::kBitSelectOneHotGated;
+        n.op = e.op;
+        n.partition = e.partition;
+        n.value_mask = cmu.reg().value_mask();
+        n.register_size = cmu.reg().size();
+        n.address = lower_address(e.key_slice, e.partition, n.register_size);
+        irx.entries.push_back(std::move(n));
+      }
+    }
+  }
+
+  if (ctl != nullptr) {
+    for (const std::uint32_t id : ctl->task_ids()) {
+      const control::DeployedTask* t = ctl->task(id);
+      if (t == nullptr) continue;
+      TaskNode tn;
+      tn.id = id;
+      tn.algorithm = t->algorithm;
+      tn.spec = t->spec;
+      tn.buckets = t->buckets;
+      tn.rows = static_cast<unsigned>(t->rows.size());
+      for (std::size_t r = 0; r < t->rows.size(); ++r) {
+        for (const control::UnitPlacement& up : t->rows[r].units) {
+          for (std::size_t i = 0; i < irx.entries.size(); ++i) {
+            EntryNode& en = irx.entries[i];
+            if (en.group == up.group && en.cmu == up.cmu &&
+                en.phys_id == up.phys_id) {
+              en.owned = true;
+              en.task_id = id;
+              en.row = r;
+              tn.entries.push_back(i);
+            }
+          }
+        }
+      }
+      irx.tasks.push_back(std::move(tn));
+    }
+  }
+  return irx;
+}
+
+}  // namespace flymon::ir

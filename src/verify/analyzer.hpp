@@ -21,6 +21,10 @@ struct VerifyContext {
   const FlyMonDataPlane* dataplane = nullptr;
   const control::CrossStackPlan* plan = nullptr;
   bool allow_wrap = false;
+  /// Epoch packet budget assumed by the value-range analysis: a Cond-ADD
+  /// counter is "overflow-safe" when neither its p2 guard nor this many
+  /// worst-case increments can push it past the register's value mask.
+  std::uint64_t packets_per_epoch = 1ull << 26;
 };
 
 class Analyzer {

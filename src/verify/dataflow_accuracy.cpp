@@ -1,0 +1,166 @@
+// Static accuracy-feasibility analyzer: compares each deployed task's
+// quantized geometry (rows x buckets) against the operator's requested
+// error targets using the closed-form bounds in src/analysis/metrics.
+// Findings are warnings — an infeasible target degrades accuracy, it does
+// not corrupt the pipeline — and each carries the minimum geometry that
+// would meet the target.
+#include <cstdio>
+#include <string>
+
+#include "analysis/metrics.hpp"
+#include "verify/verifier.hpp"
+
+namespace flymon::verify {
+namespace {
+
+/// Algorithm families sharing an error model.
+bool is_cm_family(Algorithm a) {
+  switch (a) {
+    case Algorithm::kCms:
+    case Algorithm::kTowerSketch:
+    case Algorithm::kMrac:
+    case Algorithm::kSuMaxSum:
+    case Algorithm::kCounterBraids:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_cardinality_family(Algorithm a) {
+  return a == Algorithm::kHyperLogLog || a == Algorithm::kLinearCounting;
+}
+
+class DataflowAccuracyAnalyzer final : public Analyzer {
+ public:
+  std::string_view name() const noexcept override {
+    return "dataflow-accuracy";
+  }
+  std::string_view description() const noexcept override {
+    return "static accuracy feasibility: deployed rows/buckets vs requested "
+           "epsilon/delta targets (CM, Bloom, HLL bounds)";
+  }
+
+  void run(const VerifyContext& ctx, VerifyReport& report) const override {
+    if (ctx.controller == nullptr) return;
+    for (const std::uint32_t id : ctx.controller->task_ids()) {
+      const control::DeployedTask* t = ctx.controller->task(id);
+      if (t == nullptr) continue;
+      const TaskSpec& spec = t->spec;
+      if (spec.target_epsilon <= 0 && spec.target_delta <= 0) continue;
+      const std::string site = "task " + std::to_string(id);
+      if (is_cm_family(t->algorithm)) {
+        check_cm(*t, site, report);
+      } else if (t->algorithm == Algorithm::kBloomFilter) {
+        check_bloom(*t, site, report);
+      } else if (is_cardinality_family(t->algorithm)) {
+        check_cardinality(*t, site, report);
+      }
+      // Remaining algorithms (BeauCoup coupons, max/similarity trackers)
+      // have no closed-form (eps, delta) bound here; targets are ignored.
+    }
+  }
+
+ private:
+  /// Count-Min style: eps = e/width per row, delta = e^-depth.
+  void check_cm(const control::DeployedTask& t, const std::string& site,
+                VerifyReport& report) const {
+    const TaskSpec& spec = t.spec;
+    if (spec.target_epsilon > 0) {
+      const double eps = analysis::cm_epsilon(t.buckets);
+      if (eps > spec.target_epsilon) {
+        report.add(Severity::kWarning, "dataflow.accuracy.epsilon", site,
+                   format_double(eps) + " achievable CM error factor with " +
+                       std::to_string(t.buckets) +
+                       " buckets/row exceeds the requested epsilon " +
+                       format_double(spec.target_epsilon),
+                   "resize to at least " +
+                       std::to_string(
+                           analysis::cm_min_width(spec.target_epsilon)) +
+                       " buckets per row");
+      }
+    }
+    if (spec.target_delta > 0) {
+      const unsigned depth = static_cast<unsigned>(t.rows.size());
+      const double delta = analysis::cm_delta(depth);
+      if (delta > spec.target_delta) {
+        report.add(Severity::kWarning, "dataflow.accuracy.delta", site,
+                   format_double(delta) +
+                       " achievable CM failure probability with " +
+                       std::to_string(depth) +
+                       " rows exceeds the requested delta " +
+                       format_double(spec.target_delta),
+                   "deploy at least " +
+                       std::to_string(analysis::cm_min_depth(spec.target_delta)) +
+                       " rows");
+      }
+    }
+  }
+
+  /// Bloom: FPR = (1 - e^{-kn/m})^k with k = rows and m = the bit budget.
+  void check_bloom(const control::DeployedTask& t, const std::string& site,
+                   VerifyReport& report) const {
+    const TaskSpec& spec = t.spec;
+    if (spec.target_epsilon <= 0) return;
+    if (spec.expected_items == 0) {
+      report.add(Severity::kWarning, "dataflow.accuracy.epsilon", site,
+                 "Bloom FPR target set but expected_items is 0; the bound "
+                 "cannot be evaluated",
+                 "set expected_items on the task spec");
+      return;
+    }
+    const unsigned hashes = static_cast<unsigned>(t.rows.size());
+    const std::uint64_t bits =
+        static_cast<std::uint64_t>(t.buckets) * (spec.bloom_bit_packed ? 32 : 1);
+    const double fpr = analysis::bloom_false_positive_rate(
+        bits, hashes, spec.expected_items);
+    if (fpr > spec.target_epsilon) {
+      const std::uint64_t min_bits = analysis::bloom_min_bits(
+          spec.target_epsilon, hashes, spec.expected_items);
+      const std::uint64_t min_buckets =
+          spec.bloom_bit_packed ? (min_bits + 31) / 32 : min_bits;
+      report.add(Severity::kWarning, "dataflow.accuracy.epsilon", site,
+                 format_double(fpr) + " projected Bloom FPR for " +
+                     std::to_string(spec.expected_items) + " items in " +
+                     std::to_string(bits) +
+                     " bits exceeds the requested bound " +
+                     format_double(spec.target_epsilon),
+                 "resize to at least " + std::to_string(min_buckets) +
+                     " buckets per row");
+    }
+  }
+
+  /// HLL / LinearCounting: relative stddev 1.04/sqrt(m).
+  void check_cardinality(const control::DeployedTask& t,
+                         const std::string& site, VerifyReport& report) const {
+    const TaskSpec& spec = t.spec;
+    if (spec.target_epsilon <= 0) return;
+    const double sd = analysis::hll_relative_stddev(t.buckets);
+    if (sd > spec.target_epsilon) {
+      report.add(Severity::kWarning, "dataflow.accuracy.epsilon", site,
+                 format_double(sd) +
+                     " achievable cardinality relative stddev with " +
+                     std::to_string(t.buckets) +
+                     " registers exceeds the requested bound " +
+                     format_double(spec.target_epsilon),
+                 "resize to at least " +
+                     std::to_string(
+                         analysis::hll_min_registers(spec.target_epsilon)) +
+                     " registers");
+    }
+  }
+
+  static std::string format_double(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+    return buf;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Analyzer> make_dataflow_accuracy_analyzer() {
+  return std::make_unique<DataflowAccuracyAnalyzer>();
+}
+
+}  // namespace flymon::verify

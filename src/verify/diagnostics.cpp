@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "telemetry/export.hpp"
+
 namespace flymon::verify {
 
 const char* to_string(Severity s) noexcept {
@@ -40,6 +42,31 @@ std::string VerifyReport::format(Severity min_severity) const {
     if (!d.hint.empty()) out << " (hint: " << d.hint << ")";
     out << '\n';
   }
+  return out.str();
+}
+
+std::string to_json(const VerifyReport& report) {
+  std::ostringstream out;
+  out << "{\"analyzers\":[";
+  for (std::size_t i = 0; i < report.analyzers_run.size(); ++i) {
+    if (i != 0) out << ',';
+    out << '"' << telemetry::json_escape(report.analyzers_run[i]) << '"';
+  }
+  out << "],\"counts\":{\"error\":" << report.count(Severity::kError)
+      << ",\"warning\":" << report.count(Severity::kWarning)
+      << ",\"info\":" << report.count(Severity::kInfo)
+      << "},\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"severity\":\"" << to_string(d.severity) << "\",\"check\":\""
+        << telemetry::json_escape(d.check) << "\",\"site\":\""
+        << telemetry::json_escape(d.site) << "\",\"message\":\""
+        << telemetry::json_escape(d.message) << "\",\"hint\":\""
+        << telemetry::json_escape(d.hint) << "\"}";
+  }
+  out << "]}";
   return out.str();
 }
 

@@ -54,4 +54,9 @@ class VerifyReport {
   std::vector<Diagnostic> diags_;
 };
 
+/// Machine-readable report: {"analyzers": [...], "counts": {...},
+/// "diagnostics": [{severity, check, site, message, hint}, ...]}.
+/// Consumed by `flymon_verify --json` and the CI artifact upload.
+std::string to_json(const VerifyReport& report);
+
 }  // namespace flymon::verify

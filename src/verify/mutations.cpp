@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/export.hpp"
 #include "verify/verifier.hpp"
 
 namespace flymon::verify {
@@ -182,6 +183,80 @@ std::vector<Mutation> mutation_catalogue() {
                    w.plan.start_stage[1] = w.plan.start_stage[0];
                  }});
 
+  // ---- semantic-dataflow mutations (src/verify/dataflow_*.cpp) ----
+
+  cat.push_back({"dataflow-zeroed-hash-mask", "dataflow.key.entropy",
+                 "hash unit configured with an all-zero mask (constant key)",
+                 [](MutableWorld& w) {
+                   configure_unit(w, w.dp.num_groups() - 1, FlowKeySpec{});
+                 }});
+
+  cat.push_back({"dataflow-self-cancelling-key", "dataflow.key.cancel",
+                 "entry XORing a compressed key with itself (constant-0 key)",
+                 [](MutableWorld& w) {
+                   const unsigned g = w.dp.num_groups() - 1;
+                   const auto sel =
+                       configure_unit(w, g, FlowKeySpec::src_ip());
+                   CmuTaskEntry e;
+                   e.task_id = 9011;
+                   e.filter = TaskFilter::src(0x0A00'0000u, 8);
+                   e.sample_probability = 0.5;
+                   e.key_sel = {sel.unit_a, sel.unit_a};  // XOR with itself
+                   e.partition = {0, 1024};
+                   e.op = StatefulOp::kCondAdd;
+                   w.dp.group(g).cmu(2).install(e);
+                 }});
+
+  cat.push_back({"dataflow-undersized-partition", "dataflow.accuracy.epsilon",
+                 "CMS task whose 64 buckets/row cannot reach epsilon=1e-6",
+                 [](MutableWorld& w) {
+                   TaskSpec tiny;
+                   tiny.name = "tiny-hh";
+                   tiny.filter = TaskFilter::src(0xAC10'0000u, 12);
+                   tiny.key = FlowKeySpec::src_ip();
+                   tiny.attribute = AttributeKind::kFrequency;
+                   tiny.algorithm = Algorithm::kCms;
+                   tiny.memory_buckets = 64;
+                   tiny.target_epsilon = 1e-6;
+                   const auto r = w.ctl.add_task(tiny);
+                   if (!r.ok) {
+                     throw std::logic_error(
+                         "mutation harness: tiny CMS deploy failed: " + r.error);
+                   }
+                 }});
+
+  cat.push_back({"dataflow-overflow-preload", "dataflow.range.overflow",
+                 "Cond-ADD whose 2^30 increment can exceed the value mask",
+                 [](MutableWorld& w) {
+                   const auto& up = first_placement(w.ctl);
+                   const auto& e = placed_entry(w, up);
+                   CmuTaskEntry bad =
+                       raw_entry(e, 9014, TaskFilter::src(0xC0A8'0000u, 16),
+                                 MemoryPartition{32768, 1024});
+                   bad.p1 = ParamSelect::constant(0x4000'0000u);
+                   w.dp.group(up.group).cmu(up.cmu).install(bad);
+                 }});
+
+  cat.push_back({"dataflow-aliased-task-rows", "dataflow.key.alias",
+                 "two rows of one task rewritten onto the same key slice",
+                 [](MutableWorld& w) {
+                   for (const std::uint32_t id : w.ctl.task_ids()) {
+                     const DeployedTask* t = w.ctl.task(id);
+                     if (t == nullptr || t->rows.size() < 2) continue;
+                     const auto& u0 = t->rows[0].units[0];
+                     const auto& u1 = t->rows[1].units[0];
+                     if (u0.group != u1.group) continue;
+                     const CmuTaskEntry& e0 = placed_entry(w, u0);
+                     CmuTaskEntry moved = placed_entry(w, u1);
+                     w.dp.group(u1.group).cmu(u1.cmu).remove(u1.phys_id);
+                     moved.key_slice = e0.key_slice;  // collapse onto row 0
+                     w.dp.group(u1.group).cmu(u1.cmu).install(moved);
+                     return;
+                   }
+                   throw std::logic_error(
+                       "mutation harness: no same-group multi-row task");
+                 }});
+
   return cat;
 }
 
@@ -230,7 +305,23 @@ bool SelfTestResult::passed() const noexcept {
                      [](const SelfTestCase& c) { return c.detected; });
 }
 
-SelfTestResult run_mutation_self_test() {
+namespace {
+
+/// Corrupt a fresh base world with `m` and verify it.
+VerifyReport verify_mutated_world(const Mutation& m) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  deploy_base_scenario(ctl);
+  auto plan = control::cross_stack(dataplane::TofinoModel::kNumStages,
+                                   dp.group(0).config());
+  MutableWorld world{dp, ctl, plan};
+  m.apply(world);
+  return verify_deployment(ctl, &plan);
+}
+
+}  // namespace
+
+SelfTestResult run_mutation_self_test(std::string_view name_prefix) {
   SelfTestResult result;
   {
     FlyMonDataPlane dp(9);
@@ -244,14 +335,11 @@ SelfTestResult run_mutation_self_test() {
   }
 
   for (const Mutation& m : mutation_catalogue()) {
-    FlyMonDataPlane dp(9);
-    Controller ctl(dp);
-    deploy_base_scenario(ctl);
-    auto plan = control::cross_stack(dataplane::TofinoModel::kNumStages,
-                                     dp.group(0).config());
-    MutableWorld world{dp, ctl, plan};
-    m.apply(world);
-    const VerifyReport report = verify_deployment(ctl, &plan);
+    if (!name_prefix.empty() &&
+        std::string_view(m.name).substr(0, name_prefix.size()) != name_prefix) {
+      continue;
+    }
+    const VerifyReport report = verify_mutated_world(m);
     SelfTestCase c;
     c.mutation = m.name;
     c.expected_check = m.expected_check;
@@ -260,6 +348,13 @@ SelfTestResult run_mutation_self_test() {
     result.cases.push_back(std::move(c));
   }
   return result;
+}
+
+std::optional<VerifyReport> run_single_mutation(std::string_view name) {
+  for (const Mutation& m : mutation_catalogue()) {
+    if (m.name == name) return verify_mutated_world(m);
+  }
+  return std::nullopt;
 }
 
 std::string format(const SelfTestResult& result) {
@@ -271,6 +366,23 @@ std::string format(const SelfTestResult& result) {
         << c.expected_check << ")\n";
     if (!c.detected) out << c.diagnostics;
   }
+  return out.str();
+}
+
+std::string to_json(const SelfTestResult& result) {
+  std::ostringstream out;
+  out << "{\"baseline_clean\":" << (result.baseline_clean ? "true" : "false")
+      << ",\"passed\":" << (result.passed() ? "true" : "false")
+      << ",\"cases\":[";
+  bool first = true;
+  for (const SelfTestCase& c : result.cases) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"mutation\":\"" << telemetry::json_escape(c.mutation)
+        << "\",\"expected_check\":\"" << telemetry::json_escape(c.expected_check)
+        << "\",\"detected\":" << (c.detected ? "true" : "false") << "}";
+  }
+  out << "]}";
   return out.str();
 }
 

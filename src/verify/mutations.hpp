@@ -4,12 +4,15 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "control/controller.hpp"
 #include "control/crossstack.hpp"
 #include "core/flymon_dataplane.hpp"
+#include "verify/diagnostics.hpp"
 
 namespace flymon::verify {
 
@@ -28,7 +31,8 @@ struct Mutation {
   std::function<void(MutableWorld&)> apply;
 };
 
-/// The seeded-corruption catalogue (10 mutations).
+/// The seeded-corruption catalogue (15 mutations: 10 structural plus 5
+/// semantic-dataflow ones keyed on dataflow.* check ids).
 std::vector<Mutation> mutation_catalogue();
 
 struct SelfTestCase {
@@ -48,8 +52,17 @@ struct SelfTestResult {
 
 /// Build a fresh world per mutation, corrupt it, verify, and require the
 /// expected diagnostic.  The unmutated baseline must verify clean.
-SelfTestResult run_mutation_self_test();
+/// `name_prefix` restricts the run to mutations whose name starts with it
+/// (e.g. "dataflow-" for the semantic subset); empty runs everything.
+SelfTestResult run_mutation_self_test(std::string_view name_prefix = {});
+
+/// Corrupt a fresh world with the named mutation and return the verifier's
+/// report over it (nullopt for an unknown name).  Backs
+/// `flymon_verify --mutate NAME`.
+std::optional<VerifyReport> run_single_mutation(std::string_view name);
 
 std::string format(const SelfTestResult& result);
+/// Machine-readable self-test result for the CI artifact.
+std::string to_json(const SelfTestResult& result);
 
 }  // namespace flymon::verify

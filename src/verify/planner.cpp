@@ -1,0 +1,211 @@
+// Implementation of the dry-run reconfiguration planner (Controller::plan)
+// and the paranoid pre-flight gate (Controller::run_plan_gate).  Lives in
+// src/verify (like run_verify_gate) so controller.cpp stays free of the
+// analyzer headers.
+#include "verify/planner.hpp"
+
+#include <utility>
+
+#include "core/flymon_dataplane.hpp"
+#include "telemetry/telemetry.hpp"
+#include "verify/verifier.hpp"
+
+namespace flymon::control {
+
+PlanOp PlanOp::add(TaskSpec spec) {
+  PlanOp op;
+  op.kind = Kind::kAdd;
+  op.spec = std::move(spec);
+  return op;
+}
+
+PlanOp PlanOp::remove(std::uint32_t id) {
+  PlanOp op;
+  op.kind = Kind::kRemove;
+  op.task_id = id;
+  return op;
+}
+
+PlanOp PlanOp::resize(std::uint32_t id, std::uint32_t new_buckets) {
+  PlanOp op;
+  op.kind = Kind::kResize;
+  op.task_id = id;
+  op.new_buckets = new_buckets;
+  return op;
+}
+
+PlanOp PlanOp::split(std::uint32_t id) {
+  PlanOp op;
+  op.kind = Kind::kSplit;
+  op.task_id = id;
+  return op;
+}
+
+const char* to_string(PlanOp::Kind k) noexcept {
+  switch (k) {
+    case PlanOp::Kind::kAdd: return "add";
+    case PlanOp::Kind::kRemove: return "remove";
+    case PlanOp::Kind::kResize: return "resize";
+    case PlanOp::Kind::kSplit: return "split";
+  }
+  return "?";
+}
+
+}  // namespace flymon::control
+
+namespace flymon::verify {
+namespace {
+
+std::string describe(const control::PlanOp& op) {
+  using Kind = control::PlanOp::Kind;
+  std::string s = control::to_string(op.kind);
+  switch (op.kind) {
+    case Kind::kAdd:
+      s += " \"" + op.spec.name + "\"";
+      break;
+    case Kind::kResize:
+      s += " task " + std::to_string(op.task_id) + " -> " +
+           std::to_string(op.new_buckets) + " buckets";
+      break;
+    default:
+      s += " task " + std::to_string(op.task_id);
+      break;
+  }
+  return s;
+}
+
+/// Apply one op to the shadow controller.  `id_map` translates live ids to
+/// shadow ids and is updated for ops that create or destroy tasks.  Ops may
+/// only reference ids that exist on the *live* controller; ids minted by
+/// earlier ops of the same batch are not addressable.
+PlanOpResult apply_op(control::Controller& shadow, const control::PlanOp& op,
+                      std::map<std::uint32_t, std::uint32_t>& id_map) {
+  using Kind = control::PlanOp::Kind;
+  PlanOpResult r;
+  r.op = op;
+  if (op.kind != Kind::kAdd) {
+    const auto it = id_map.find(op.task_id);
+    if (it == id_map.end()) {
+      r.detail = "unknown live task id " + std::to_string(op.task_id);
+      return r;
+    }
+    const std::uint32_t shadow_id = it->second;
+    switch (op.kind) {
+      case Kind::kRemove:
+        r.ok = shadow.remove_task(shadow_id);
+        r.detail = r.ok ? "removed" : "remove failed";
+        if (r.ok) id_map.erase(op.task_id);
+        break;
+      case Kind::kResize: {
+        const control::DeployResult res =
+            shadow.resize_task(shadow_id, op.new_buckets);
+        r.ok = res.ok;
+        r.detail = res.ok ? "resized to " + std::to_string(op.new_buckets) +
+                                " buckets"
+                          : res.error;
+        break;
+      }
+      case Kind::kSplit: {
+        const auto [lo, hi] = shadow.split_task(shadow_id);
+        r.ok = lo.ok && hi.ok;
+        r.detail = r.ok ? "split into shadow tasks " +
+                              std::to_string(lo.task_id) + " + " +
+                              std::to_string(hi.task_id)
+                        : (!lo.ok ? lo.error : hi.error);
+        if (r.ok) id_map.erase(op.task_id);
+        break;
+      }
+      default:
+        break;
+    }
+    return r;
+  }
+  const control::DeployResult res = shadow.add_task(op.spec);
+  r.ok = res.ok;
+  r.detail = res.ok
+                 ? "deployed as shadow task " + std::to_string(res.task_id)
+                 : res.error;
+  return r;
+}
+
+}  // namespace
+
+std::string PlanResult::format() const {
+  std::string out = ok ? "plan OK" : "plan FAILED: " + error;
+  out += "\n";
+  for (const PlanOpResult& r : ops) {
+    out += std::string("  [") + (r.ok ? "ok" : "FAIL") + "] " +
+           describe(r.op) + ": " + r.detail + "\n";
+  }
+  const std::string diags = report.format(Severity::kWarning);
+  if (!diags.empty()) out += diags;
+  return out;
+}
+
+}  // namespace flymon::verify
+
+namespace flymon::control {
+
+verify::PlanResult Controller::plan(const std::vector<PlanOp>& ops) const {
+  verify::PlanResult result;
+
+  // A private shadow world: same pipeline geometry and allocation policy,
+  // its own telemetry registry so shadow deploys never pollute the live
+  // counters.
+  telemetry::Registry shadow_registry;
+  FlyMonDataPlane shadow_dp(dp_->num_groups(),
+                            dp_->num_groups() ? dp_->group(0).config()
+                                              : CmuGroupConfig{});
+  shadow_dp.bind_telemetry(shadow_registry);
+  Controller shadow(shadow_dp, strategy_, mode_);
+  shadow.bind_telemetry(shadow_registry);
+
+  // Replay the live tasks in ascending id order.  Specs are kept current
+  // across resize/split, so replay-by-spec reproduces an equivalent
+  // deployment (placements may legally differ from the live ones when the
+  // live world is fragmented by past removals).
+  for (const std::uint32_t live_id : task_ids()) {
+    const DeployedTask* t = task(live_id);
+    if (t == nullptr) continue;
+    const DeployResult res = shadow.add_task(t->spec);
+    if (!res.ok) {
+      result.error = "failed to replay live task " + std::to_string(live_id) +
+                     ": " + res.error;
+      return result;
+    }
+    result.id_map[live_id] = res.task_id;
+  }
+
+  // Apply the staged batch, stopping at the first failure.
+  bool ops_ok = true;
+  for (const PlanOp& op : ops) {
+    verify::PlanOpResult r = verify::apply_op(shadow, op, result.id_map);
+    const bool op_ok = r.ok;
+    result.ops.push_back(std::move(r));
+    if (!op_ok) {
+      result.error = "op '" + verify::describe(op) +
+                     "' failed: " + result.ops.back().detail;
+      ops_ok = false;
+      break;
+    }
+  }
+
+  // Full semantic verification of the post-batch shadow world.
+  result.report = verify::verify_deployment(shadow);
+  if (ops_ok && result.report.has_errors()) {
+    result.error = "verification failed";
+  }
+  result.ok = ops_ok && !result.report.has_errors();
+  return result;
+}
+
+std::string Controller::run_plan_gate(const TaskSpec& spec) const {
+  const verify::PlanResult result = plan({PlanOp::add(spec)});
+  if (result.ok) return {};
+  std::string out = result.error;
+  const std::string diags = result.report.format(verify::Severity::kError);
+  if (!diags.empty()) out += "\n" + diags;
+  return out;
+}
+
+}  // namespace flymon::control

@@ -1,0 +1,44 @@
+// Dry-run reconfiguration planner: Controller::plan() stages a batch of
+// deploy/resize/split/remove operations against a cloned shadow world,
+// runs every analyzer over the result, and returns the combined
+// diagnostics.  The live data plane is untouched by construction — the
+// shadow has its own FlyMonDataPlane, Controller and telemetry registry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace flymon::verify {
+
+/// Outcome of one staged op as replayed on the shadow world.
+struct PlanOpResult {
+  control::PlanOp op{};
+  bool ok = false;
+  std::string detail;  ///< deploy summary or failure reason
+};
+
+/// Result of one Controller::plan() call.
+struct PlanResult {
+  /// Every op applied cleanly AND the post-batch verification has no
+  /// errors (warnings do not fail a plan).
+  bool ok = false;
+  /// First failure: replay error, op error, or "verification failed".
+  std::string error;
+  /// Per-op outcomes, in order; stops at the first failed op.
+  std::vector<PlanOpResult> ops;
+  /// Full analyzer report over the shadow world after the batch.  When an
+  /// op fails the report covers the shadow state up to that op.
+  VerifyReport report;
+  /// Live public task id -> shadow task id for tasks that survived the
+  /// batch (replayed and not removed/split).
+  std::map<std::uint32_t, std::uint32_t> id_map;
+
+  std::string format() const;
+};
+
+}  // namespace flymon::verify

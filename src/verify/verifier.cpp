@@ -9,6 +9,9 @@ Verifier::Verifier() {
   add(make_tcam_analyzer());
   add(make_memory_analyzer());
   add(make_task_analyzer());
+  add(make_dataflow_key_analyzer());
+  add(make_dataflow_range_analyzer());
+  add(make_dataflow_accuracy_analyzer());
 }
 
 void Verifier::add(std::unique_ptr<Analyzer> analyzer) {

@@ -16,10 +16,14 @@ std::unique_ptr<Analyzer> make_resource_analyzer();
 std::unique_ptr<Analyzer> make_tcam_analyzer();
 std::unique_ptr<Analyzer> make_memory_analyzer();
 std::unique_ptr<Analyzer> make_task_analyzer();
+std::unique_ptr<Analyzer> make_dataflow_key_analyzer();
+std::unique_ptr<Analyzer> make_dataflow_range_analyzer();
+std::unique_ptr<Analyzer> make_dataflow_accuracy_analyzer();
 
 class Verifier {
  public:
-  /// Registers the four built-in analyzers (resources, tcam, memory, tasks).
+  /// Registers the seven built-in analyzers (resources, tcam, memory,
+  /// tasks, dataflow-key, dataflow-range, dataflow-accuracy).
   Verifier();
 
   void add(std::unique_ptr<Analyzer> analyzer);

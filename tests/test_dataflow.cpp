@@ -1,0 +1,775 @@
+// Semantic dataflow analysis (src/ir + src/verify/dataflow_*) and the
+// dry-run reconfiguration planner: IR extraction ground truth, hash-bit
+// provenance, SALU interval analysis, accuracy-feasibility bounds,
+// hash-unit masking edge cases, Controller::plan() shadow semantics, the
+// shell `plan` command family, the paranoid pre-flight gate, and the
+// machine-readable JSON report encoders.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "core/compression.hpp"
+#include "control/controller.hpp"
+#include "control/shell.hpp"
+#include "core/flymon_dataplane.hpp"
+#include "ir/ir.hpp"
+#include "verify/diagnostics.hpp"
+#include "verify/mutations.hpp"
+#include "verify/planner.hpp"
+#include "verify/verifier.hpp"
+
+namespace flymon {
+namespace {
+
+using control::Controller;
+using control::PlanOp;
+using verify::Severity;
+
+TaskSpec make_spec(const std::string& name, FlowKeySpec key, AttributeKind attr,
+                   Algorithm algo, std::uint32_t buckets,
+                   TaskFilter filter = TaskFilter::any()) {
+  TaskSpec s;
+  s.name = name;
+  s.key = key;
+  s.attribute = attr;
+  s.algorithm = algo;
+  s.memory_buckets = buckets;
+  s.filter = filter;
+  return s;
+}
+
+// Same stable fingerprint test_verify.cpp uses for the rollback regression:
+// everything a deployment mutates, so "byte-identical" is checkable.
+std::string dataplane_fingerprint(const FlyMonDataPlane& dp,
+                                  const Controller& ctl) {
+  std::ostringstream out;
+  for (unsigned g = 0; g < dp.num_groups(); ++g) {
+    const CmuGroup& grp = dp.group(g);
+    out << "group " << g << '\n';
+    for (unsigned u = 0; u < grp.compression().num_units(); ++u) {
+      const auto& spec = grp.compression().spec_of(u);
+      out << "  unit " << u << ": " << (spec ? spec->name() : "-") << '\n';
+    }
+    for (unsigned c = 0; c < grp.num_cmus(); ++c) {
+      const Cmu& cmu = grp.cmu(c);
+      out << "  cmu " << c << ": ops=" << cmu.salu().loaded_ops() << '\n';
+      for (const CmuTaskEntry& e : cmu.entries()) {
+        out << "    task " << e.task_id << " prio " << e.priority << " part ["
+            << e.partition.base << '+' << e.partition.size << ") op "
+            << static_cast<int>(e.op) << " filter " << e.filter.src_ip << '/'
+            << int(e.filter.src_len) << ' ' << e.filter.dst_ip << '/'
+            << int(e.filter.dst_len) << '\n';
+      }
+      std::uint64_t register_sum = 0;
+      for (std::uint32_t i = 0; i < cmu.reg().size(); ++i) {
+        register_sum += cmu.reg().read(i);
+      }
+      out << "    register_sum " << register_sum << '\n';
+      out << "    free " << ctl.free_buckets(g, c) << '\n';
+    }
+  }
+  out << "tasks " << ctl.num_tasks() << '\n';
+  return out.str();
+}
+
+verify::VerifyReport run_analyzer(const char* name, const Controller& ctl,
+                                  const FlyMonDataPlane& dp) {
+  const verify::Verifier v;
+  const verify::VerifyContext ctx{&ctl, &dp, nullptr, false};
+  return v.run_one(name, ctx);
+}
+
+// ---- closed-form accuracy bounds (src/analysis/metrics) ----
+
+TEST(MetricsBounds, CmEpsilonAndMinWidthInvert) {
+  const double e = 2.718281828459045;
+  EXPECT_NEAR(analysis::cm_epsilon(272), e / 272, 1e-12);
+  // cm_min_width(eps) is the least width whose epsilon meets eps.
+  const std::uint32_t w = analysis::cm_min_width(0.01);
+  EXPECT_LE(analysis::cm_epsilon(w), 0.01);
+  ASSERT_GT(w, 1u);
+  EXPECT_GT(analysis::cm_epsilon(w - 1), 0.01);
+}
+
+TEST(MetricsBounds, CmDeltaAndMinDepthInvert) {
+  EXPECT_NEAR(analysis::cm_delta(3), std::exp(-3.0), 1e-12);
+  const unsigned d = analysis::cm_min_depth(0.01);
+  EXPECT_LE(analysis::cm_delta(d), 0.01);
+  ASSERT_GT(d, 1u);
+  EXPECT_GT(analysis::cm_delta(d - 1), 0.01);
+}
+
+TEST(MetricsBounds, BloomFprMonotoneInItemsAndBits) {
+  const double small = analysis::bloom_false_positive_rate(8192, 3, 100);
+  const double more_items = analysis::bloom_false_positive_rate(8192, 3, 1000);
+  const double more_bits = analysis::bloom_false_positive_rate(65536, 3, 1000);
+  EXPECT_LT(small, more_items);
+  EXPECT_LT(more_bits, more_items);
+  EXPECT_GE(small, 0.0);
+  EXPECT_LE(more_items, 1.0);
+}
+
+TEST(MetricsBounds, BloomMinBitsMeetsTarget) {
+  const std::uint64_t m = analysis::bloom_min_bits(0.01, 3, 1000);
+  EXPECT_LE(analysis::bloom_false_positive_rate(m, 3, 1000), 0.01 + 1e-9);
+}
+
+TEST(MetricsBounds, HllStddevAndMinRegistersInvert) {
+  EXPECT_NEAR(analysis::hll_relative_stddev(4096), 1.04 / 64.0, 1e-12);
+  const std::uint32_t m = analysis::hll_min_registers(0.02);
+  EXPECT_LE(analysis::hll_relative_stddev(m), 0.02);
+}
+
+// ---- interval helpers and taint sets ----
+
+TEST(IrHelpers, SaturatingArithmetic) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(ir::sat_add(2, 3), 5u);
+  EXPECT_EQ(ir::sat_add(max, 1), max);
+  EXPECT_EQ(ir::sat_add(max - 1, 1), max);
+  EXPECT_EQ(ir::sat_mul(6, 7), 42u);
+  EXPECT_EQ(ir::sat_mul(max, 2), max);
+  EXPECT_EQ(ir::sat_mul(0, max), 0u);
+  EXPECT_EQ(ir::sat_mul(max, 0), 0u);
+}
+
+TEST(IrHelpers, SpecBitsMatchTheMaskedFields) {
+  EXPECT_TRUE(ir::spec_bits(FlowKeySpec{}).none());
+  EXPECT_EQ(ir::spec_bits(FlowKeySpec::src_ip()).count(), 32u);
+  EXPECT_EQ(ir::spec_bits(FlowKeySpec::src_ip(8)).count(), 8u);
+  EXPECT_EQ(ir::spec_bits(FlowKeySpec::ip_pair()).count(), 64u);
+  // SrcIP occupies candidate-key bytes [0..3]; an /8 prefix tags byte 0.
+  const ir::KeyBitSet octet = ir::spec_bits(FlowKeySpec::src_ip(8));
+  for (unsigned bit = 0; bit < 8; ++bit) EXPECT_TRUE(octet.test(bit));
+  for (unsigned bit = 8; bit < kCandidateKeyBits; ++bit) {
+    EXPECT_FALSE(octet.test(bit));
+  }
+}
+
+// ---- IR extraction ----
+
+TEST(IrExtract, EmptyWorldHasUnconfiguredUnitsAndNoEntries) {
+  FlyMonDataPlane dp(2);
+  const ir::PipelineIr irx = ir::extract_ir(dp, nullptr, 1ull << 26);
+  EXPECT_EQ(irx.units.size(), 2u * irx.units_per_group);
+  for (const ir::HashUnitNode& u : irx.units) {
+    EXPECT_FALSE(u.configured);
+    EXPECT_TRUE(u.sources.none());
+  }
+  EXPECT_TRUE(irx.entries.empty());
+  EXPECT_TRUE(irx.tasks.empty());
+}
+
+TEST(IrExtract, DeployedCmsTaskOwnsItsRowsWithFullProvenance) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  const auto r = ctl.add_task(make_spec("hh", FlowKeySpec::src_ip(),
+                                        AttributeKind::kFrequency,
+                                        Algorithm::kCms, 4096));
+  ASSERT_TRUE(r.ok) << r.error;
+  const ir::PipelineIr irx = ir::extract_ir(dp, &ctl, 1ull << 26);
+  ASSERT_EQ(irx.tasks.size(), 1u);
+  const ir::TaskNode& t = irx.tasks[0];
+  EXPECT_EQ(t.id, r.task_id);
+  EXPECT_EQ(t.entries.size(), t.rows);
+  std::vector<unsigned> rows;
+  for (const std::size_t i : t.entries) {
+    const ir::EntryNode& e = irx.entries.at(i);
+    EXPECT_TRUE(e.owned);
+    EXPECT_EQ(e.task_id, r.task_id);
+    rows.push_back(e.row);
+    EXPECT_FALSE(e.key.self_cancelling);
+    EXPECT_FALSE(e.key.reads_unconfigured);
+    EXPECT_EQ(e.key.sources, ir::spec_bits(FlowKeySpec::src_ip()));
+    EXPECT_TRUE(e.address.in_bounds);
+    EXPECT_EQ(e.address.reachable_cells, e.partition.size);
+    // CMS increments by the constant 1.
+    EXPECT_EQ(e.p1.range.lo, 1u);
+    EXPECT_EQ(e.p1.range.hi, 1u);
+    EXPECT_FALSE(e.chained);
+  }
+  std::sort(rows.begin(), rows.end());
+  EXPECT_TRUE(std::unique(rows.begin(), rows.end()) == rows.end())
+      << "rows must map to distinct entries";
+}
+
+TEST(IrExtract, XorSelectorUnionsBothUnitMasks) {
+  FlyMonDataPlane dp(2);
+  CompressionStage& comp = dp.group(0).compression();
+  comp.configure(0, FlowKeySpec::src_ip());
+  comp.configure(1, FlowKeySpec::dst_ip());
+  CmuTaskEntry e;
+  e.task_id = 7;
+  e.key_sel = {0, 1};
+  e.partition = {0, 1024};
+  e.op = dataplane::StatefulOp::kCondAdd;
+  dp.group(0).cmu(0).install(e);
+  const ir::PipelineIr irx = ir::extract_ir(dp, nullptr, 1ull << 26);
+  const ir::EntryNode* n = irx.find_entry(0, 0, 7);
+  ASSERT_NE(n, nullptr);
+  EXPECT_FALSE(n->owned);
+  EXPECT_FALSE(n->key.self_cancelling);
+  EXPECT_EQ(n->key.sources.count(), 64u);
+  EXPECT_EQ(n->key.sources,
+            ir::spec_bits(FlowKeySpec::src_ip()) |
+                ir::spec_bits(FlowKeySpec::dst_ip()));
+}
+
+TEST(IrExtract, SelfXorIsFlaggedAsCancelling) {
+  FlyMonDataPlane dp(2);
+  dp.group(0).compression().configure(0, FlowKeySpec::src_ip());
+  CmuTaskEntry e;
+  e.task_id = 8;
+  e.key_sel = {0, 0};  // XOR of a unit with itself: the constant 0
+  e.partition = {0, 1024};
+  e.op = dataplane::StatefulOp::kCondAdd;
+  dp.group(0).cmu(0).install(e);
+  const ir::PipelineIr irx = ir::extract_ir(dp, nullptr, 1ull << 26);
+  const ir::EntryNode* n = irx.find_entry(0, 0, 8);
+  ASSERT_NE(n, nullptr);
+  EXPECT_TRUE(n->key.self_cancelling);
+  EXPECT_TRUE(n->key.sources.none());
+}
+
+TEST(IrExtract, ReadingAnUnconfiguredUnitIsFlagged) {
+  FlyMonDataPlane dp(2);
+  dp.group(0).compression().configure(0, FlowKeySpec::src_ip());
+  CmuTaskEntry e;
+  e.task_id = 9;
+  e.key_sel = {2, -1};  // unit 2 never configured
+  e.partition = {0, 1024};
+  e.op = dataplane::StatefulOp::kCondAdd;
+  dp.group(0).cmu(0).install(e);
+  const ir::PipelineIr irx = ir::extract_ir(dp, nullptr, 1ull << 26);
+  const ir::EntryNode* n = irx.find_entry(0, 0, 9);
+  ASSERT_NE(n, nullptr);
+  EXPECT_TRUE(n->key.reads_unconfigured);
+  EXPECT_TRUE(n->key.sources.none());
+}
+
+// ---- hash-unit masking edge cases (the compression stage itself) ----
+
+TEST(HashMaskEdge, AllZeroMaskHashesEveryPacketIdentically) {
+  CompressionStage comp(3, 0);
+  comp.configure(0, FlowKeySpec{});  // no field selected
+  CandidateKey a{};
+  CandidateKey b{};
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::uint8_t>(0xA0u + i);
+  }
+  EXPECT_EQ(comp.compute(a).at(0), comp.compute(b).at(0));
+}
+
+TEST(HashMaskEdge, SingleBitMaskDependsOnExactlyThatBit) {
+  CompressionStage comp(3, 0);
+  comp.configure(0, FlowKeySpec::src_ip(1));  // only src_ip bit 31
+  CandidateKey base{};
+  CandidateKey outside = base;
+  outside[3] = 0xFF;  // low src_ip byte: outside the /1 mask
+  outside[7] = 0x5A;  // dst_ip byte: outside the mask too
+  CandidateKey inside = base;
+  inside[0] = 0x80;  // the masked top bit of src_ip
+  EXPECT_EQ(comp.compute(base).at(0), comp.compute(outside).at(0));
+  // CRC32 is linear: flipping any unmasked input bit always changes the
+  // output, so the single masked bit yields exactly two hash values.
+  EXPECT_NE(comp.compute(base).at(0), comp.compute(inside).at(0));
+  EXPECT_EQ(ir::spec_bits(FlowKeySpec::src_ip(1)).count(), 1u);
+}
+
+TEST(HashMaskEdge, IdenticalMaskOnTwoUnitsStillHashesIndependently) {
+  CompressionStage comp(3, 0);
+  comp.configure(0, FlowKeySpec::src_ip());
+  comp.configure(1, FlowKeySpec::src_ip());
+  CandidateKey k{};
+  k[0] = 10;
+  k[1] = 1;
+  k[2] = 2;
+  k[3] = 3;
+  const auto out = comp.compute(k);
+  // Per-unit CRC parameterisation diversifies the outputs, so two units
+  // with the same mask are distinct estimators, not copies.
+  EXPECT_NE(out.at(0), out.at(1));
+  // And in the IR their XOR is a real 32-bit key, not a cancellation.
+  FlyMonDataPlane dp(1);
+  dp.group(0).compression().configure(0, FlowKeySpec::src_ip());
+  dp.group(0).compression().configure(1, FlowKeySpec::src_ip());
+  CmuTaskEntry e;
+  e.task_id = 4;
+  e.key_sel = {0, 1};
+  e.partition = {0, 1024};
+  dp.group(0).cmu(0).install(e);
+  const ir::PipelineIr irx = ir::extract_ir(dp, nullptr, 1ull << 26);
+  const ir::EntryNode* n = irx.find_entry(0, 0, 4);
+  ASSERT_NE(n, nullptr);
+  EXPECT_FALSE(n->key.self_cancelling);
+  EXPECT_EQ(n->key.sources.count(), 32u);
+}
+
+// ---- dataflow-key analyzer ----
+
+TEST(DataflowKey, CleanDeploymentStaysSilent) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  ASSERT_TRUE(ctl.add_task(make_spec("hh", FlowKeySpec::src_ip(),
+                                     AttributeKind::kFrequency, Algorithm::kCms,
+                                     4096))
+                  .ok);
+  const auto report = run_analyzer("dataflow-key", ctl, dp);
+  EXPECT_TRUE(report.empty()) << report.format();
+}
+
+TEST(DataflowKey, ZeroEntropyUnitIsAnError) {
+  FlyMonDataPlane dp(2);
+  Controller ctl(dp);
+  dp.group(1).compression().configure(0, FlowKeySpec{});
+  const auto report = run_analyzer("dataflow-key", ctl, dp);
+  EXPECT_TRUE(report.has_check("dataflow.key.entropy")) << report.format();
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_NE(report.format().find("g1.unit0"), std::string::npos)
+      << report.format();
+}
+
+TEST(DataflowKey, SelfCancellingSelectorIsAnError) {
+  FlyMonDataPlane dp(2);
+  Controller ctl(dp);
+  dp.group(0).compression().configure(0, FlowKeySpec::src_ip());
+  CmuTaskEntry e;
+  e.task_id = 11;
+  e.key_sel = {0, 0};
+  e.partition = {0, 1024};
+  e.op = dataplane::StatefulOp::kCondAdd;
+  dp.group(0).cmu(0).install(e);
+  const auto report = run_analyzer("dataflow-key", ctl, dp);
+  EXPECT_TRUE(report.has_check("dataflow.key.cancel")) << report.format();
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(DataflowKey, RespeccedUnitLeavesRequestedBitsDead) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  const auto r = ctl.add_task(make_spec("pair", FlowKeySpec::ip_pair(),
+                                        AttributeKind::kFrequency,
+                                        Algorithm::kCms, 4096));
+  ASSERT_TRUE(r.ok) << r.error;
+  // Narrow the hash mask under the deployed task: the task asked for the
+  // full IP pair but its entries now hash an 8-bit slice of src_ip only.
+  const control::DeployedTask* t = ctl.task(r.task_id);
+  ASSERT_NE(t, nullptr);
+  const unsigned g = t->rows[0].units[0].group;
+  const ir::PipelineIr before = ir::extract_ir(dp, &ctl, 1ull << 26);
+  const ir::EntryNode* owned = nullptr;
+  for (const ir::EntryNode& e : before.entries) {
+    if (e.owned && e.task_id == r.task_id) owned = &e;
+  }
+  ASSERT_NE(owned, nullptr);
+  ASSERT_GE(owned->key.sel.unit_a, 0);
+  dp.group(g).compression().configure(
+      static_cast<unsigned>(owned->key.sel.unit_a), FlowKeySpec::src_ip(8));
+  const auto report = run_analyzer("dataflow-key", ctl, dp);
+  EXPECT_TRUE(report.has_check("dataflow.key.dead")) << report.format();
+  EXPECT_FALSE(report.has_errors()) << report.format();  // dead bits warn
+}
+
+TEST(DataflowKey, AliasedRowsMutationFiresTheAliasCheck) {
+  const auto report = verify::run_single_mutation("dataflow-aliased-task-rows");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->has_check("dataflow.key.alias")) << report->format();
+  EXPECT_TRUE(report->has_errors());
+}
+
+// ---- dataflow-range analyzer ----
+
+TEST(DataflowRange, CleanTable1MixStaysSilent) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  ASSERT_TRUE(ctl.add_task(make_spec("hh", FlowKeySpec::src_ip(),
+                                     AttributeKind::kFrequency, Algorithm::kCms,
+                                     4096))
+                  .ok);
+  ASSERT_TRUE(ctl.add_task(make_spec("tower", FlowKeySpec::ip_pair(),
+                                     AttributeKind::kFrequency,
+                                     Algorithm::kTowerSketch, 8192,
+                                     TaskFilter::src(0x0A000000u, 8)))
+                  .ok);
+  const auto report = run_analyzer("dataflow-range", ctl, dp);
+  EXPECT_TRUE(report.empty()) << report.format();
+}
+
+TEST(DataflowRange, OversizedIncrementOverflowsTheValueMask) {
+  const auto report = verify::run_single_mutation("dataflow-overflow-preload");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->has_check("dataflow.range.overflow")) << report->format();
+  EXPECT_TRUE(report->has_errors());
+}
+
+TEST(DataflowRange, NarrowKeySliceLeavesPartitionCellsCold) {
+  FlyMonDataPlane dp(2);
+  Controller ctl(dp);
+  dp.group(0).compression().configure(0, FlowKeySpec::src_ip());
+  CmuTaskEntry e;
+  e.task_id = 21;
+  e.key_sel = {0, -1};
+  e.key_slice = {0, 4};  // 16 reachable cells
+  e.partition = {0, 1024};
+  e.op = dataplane::StatefulOp::kCondAdd;
+  dp.group(0).cmu(0).install(e);
+  const auto report = run_analyzer("dataflow-range", ctl, dp);
+  EXPECT_TRUE(report.has_check("dataflow.range.address")) << report.format();
+  EXPECT_FALSE(report.has_errors()) << report.format();  // reachability warns
+  EXPECT_NE(report.format().find("16 of 1024"), std::string::npos)
+      << report.format();
+}
+
+TEST(DataflowRange, NonPowerOfTwoPartitionIsAnError) {
+  FlyMonDataPlane dp(2);
+  Controller ctl(dp);
+  dp.group(0).compression().configure(0, FlowKeySpec::src_ip());
+  CmuTaskEntry e;
+  e.task_id = 22;
+  e.key_sel = {0, -1};
+  e.partition = {0, 24};  // not a buddy-allocator block
+  e.op = dataplane::StatefulOp::kCondAdd;
+  dp.group(0).cmu(0).install(e);
+  const auto report = run_analyzer("dataflow-range", ctl, dp);
+  EXPECT_TRUE(report.has_check("dataflow.range.address")) << report.format();
+  EXPECT_TRUE(report.has_errors());
+}
+
+// ---- dataflow-accuracy analyzer ----
+
+TEST(DataflowAccuracy, InfeasibleCmEpsilonTargetWarnsWithMinWidth) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  auto spec = make_spec("tiny", FlowKeySpec::src_ip(),
+                        AttributeKind::kFrequency, Algorithm::kCms, 64);
+  spec.target_epsilon = 1e-6;
+  ASSERT_TRUE(ctl.add_task(spec).ok);
+  const auto report = run_analyzer("dataflow-accuracy", ctl, dp);
+  EXPECT_TRUE(report.has_check("dataflow.accuracy.epsilon")) << report.format();
+  EXPECT_FALSE(report.has_errors());  // accuracy findings are warnings
+  EXPECT_NE(report.format().find(
+                std::to_string(analysis::cm_min_width(1e-6))),
+            std::string::npos)
+      << report.format();
+}
+
+TEST(DataflowAccuracy, InfeasibleCmDeltaTargetWarnsWithMinDepth) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  auto spec = make_spec("shallow", FlowKeySpec::src_ip(),
+                        AttributeKind::kFrequency, Algorithm::kCms, 4096);
+  spec.rows = 1;
+  spec.target_delta = 0.01;  // needs >= 5 rows
+  ASSERT_TRUE(ctl.add_task(spec).ok);
+  const auto report = run_analyzer("dataflow-accuracy", ctl, dp);
+  EXPECT_TRUE(report.has_check("dataflow.accuracy.delta")) << report.format();
+}
+
+TEST(DataflowAccuracy, FeasibleTargetsStaySilent) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  auto spec = make_spec("roomy", FlowKeySpec::src_ip(),
+                        AttributeKind::kFrequency, Algorithm::kCms, 4096);
+  spec.target_epsilon = 0.01;  // cm_epsilon(4096) ~ 6.6e-4
+  spec.target_delta = 0.05;    // cm_delta(3) ~ 0.0498
+  ASSERT_TRUE(ctl.add_task(spec).ok);
+  const auto report = run_analyzer("dataflow-accuracy", ctl, dp);
+  EXPECT_TRUE(report.empty()) << report.format();
+}
+
+TEST(DataflowAccuracy, BloomTargetWithoutExpectedItemsWarns) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  auto spec = make_spec("bl", FlowKeySpec::ip_pair(), AttributeKind::kExistence,
+                        Algorithm::kBloomFilter, 8192);
+  spec.target_epsilon = 0.01;  // but expected_items left at 0
+  ASSERT_TRUE(ctl.add_task(spec).ok);
+  const auto report = run_analyzer("dataflow-accuracy", ctl, dp);
+  EXPECT_TRUE(report.has_check("dataflow.accuracy.epsilon")) << report.format();
+  EXPECT_NE(report.format().find("expected_items"), std::string::npos);
+}
+
+TEST(DataflowAccuracy, OverloadedBloomFilterWarns) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  auto spec = make_spec("bl", FlowKeySpec::ip_pair(), AttributeKind::kExistence,
+                        Algorithm::kBloomFilter, 8192);
+  spec.target_epsilon = 1e-4;
+  spec.expected_items = 10'000'000;  // vastly more items than bits
+  ASSERT_TRUE(ctl.add_task(spec).ok);
+  const auto report = run_analyzer("dataflow-accuracy", ctl, dp);
+  EXPECT_TRUE(report.has_check("dataflow.accuracy.epsilon")) << report.format();
+}
+
+TEST(DataflowAccuracy, UndersizedHllRegisterArrayWarns) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  TaskSpec spec;
+  spec.name = "card";
+  spec.attribute = AttributeKind::kDistinct;
+  spec.algorithm = Algorithm::kHyperLogLog;
+  spec.param = ParamSpec::compressed(FlowKeySpec::five_tuple());
+  spec.memory_buckets = 1024;
+  spec.target_epsilon = 0.001;  // 1.04/sqrt(1024) ~ 0.0325
+  ASSERT_TRUE(ctl.add_task(spec).ok);
+  const auto report = run_analyzer("dataflow-accuracy", ctl, dp);
+  EXPECT_TRUE(report.has_check("dataflow.accuracy.epsilon")) << report.format();
+  EXPECT_NE(report.format().find("registers"), std::string::npos);
+}
+
+TEST(DataflowAccuracy, NoTargetsMeansNoFindings) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  ASSERT_TRUE(ctl.add_task(make_spec("plain", FlowKeySpec::src_ip(),
+                                     AttributeKind::kFrequency, Algorithm::kCms,
+                                     64))  // terrible accuracy, but no target
+                  .ok);
+  const auto report = run_analyzer("dataflow-accuracy", ctl, dp);
+  EXPECT_TRUE(report.empty()) << report.format();
+}
+
+// ---- Controller::plan (dry-run planner) ----
+
+TEST(Planner, EmptyPlanOnCleanWorldVerifiesAndMapsEveryTask) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  const auto a = ctl.add_task(make_spec("a", FlowKeySpec::src_ip(),
+                                        AttributeKind::kFrequency,
+                                        Algorithm::kCms, 4096));
+  const auto b = ctl.add_task(make_spec("b", FlowKeySpec::dst_ip(),
+                                        AttributeKind::kFrequency,
+                                        Algorithm::kTowerSketch, 8192));
+  ASSERT_TRUE(a.ok && b.ok);
+  const verify::PlanResult res = ctl.plan({});
+  EXPECT_TRUE(res.ok) << res.format();
+  EXPECT_TRUE(res.error.empty());
+  EXPECT_EQ(res.id_map.size(), 2u);
+  EXPECT_TRUE(res.id_map.count(a.task_id));
+  EXPECT_TRUE(res.id_map.count(b.task_id));
+  EXPECT_FALSE(res.report.has_errors()) << res.report.format();
+  EXPECT_NE(res.format().find("plan OK"), std::string::npos);
+}
+
+TEST(Planner, AddOpDeploysOnTheShadowOnly) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  const verify::PlanResult res = ctl.plan({PlanOp::add(
+      make_spec("hh", FlowKeySpec::src_ip(), AttributeKind::kFrequency,
+                Algorithm::kCms, 4096))});
+  EXPECT_TRUE(res.ok) << res.format();
+  ASSERT_EQ(res.ops.size(), 1u);
+  EXPECT_TRUE(res.ops[0].ok);
+  EXPECT_NE(res.ops[0].detail.find("deployed as shadow task"),
+            std::string::npos);
+  EXPECT_EQ(ctl.num_tasks(), 0u);  // the live world never saw the op
+}
+
+TEST(Planner, FailingBatchLeavesDataPlaneByteIdentical) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  ASSERT_TRUE(ctl.add_task(make_spec("hh", FlowKeySpec::src_ip(),
+                                     AttributeKind::kFrequency, Algorithm::kCms,
+                                     4096))
+                  .ok);
+  const std::string before = dataplane_fingerprint(dp, ctl);
+  const verify::PlanResult res = ctl.plan(
+      {PlanOp::add(make_spec("ok", FlowKeySpec::dst_ip(),
+                             AttributeKind::kFrequency, Algorithm::kCms, 4096)),
+       PlanOp::add(make_spec("whale", FlowKeySpec::ip_pair(),
+                             AttributeKind::kFrequency, Algorithm::kCms,
+                             1u << 30))});
+  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(res.error.empty());
+  ASSERT_EQ(res.ops.size(), 2u);
+  EXPECT_TRUE(res.ops[0].ok);
+  EXPECT_FALSE(res.ops[1].ok);
+  EXPECT_EQ(dataplane_fingerprint(dp, ctl), before);
+  EXPECT_NE(res.format().find("plan FAILED"), std::string::npos);
+}
+
+TEST(Planner, RemoveAndResizeTranslateLiveIds) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  const auto a = ctl.add_task(make_spec("a", FlowKeySpec::src_ip(),
+                                        AttributeKind::kFrequency,
+                                        Algorithm::kCms, 4096));
+  const auto b = ctl.add_task(make_spec("b", FlowKeySpec::dst_ip(),
+                                        AttributeKind::kFrequency,
+                                        Algorithm::kCms, 4096));
+  ASSERT_TRUE(a.ok && b.ok);
+  const verify::PlanResult res = ctl.plan(
+      {PlanOp::remove(a.task_id), PlanOp::resize(b.task_id, 8192)});
+  EXPECT_TRUE(res.ok) << res.format();
+  EXPECT_EQ(res.id_map.count(a.task_id), 0u);  // removed from the shadow
+  EXPECT_EQ(res.id_map.count(b.task_id), 1u);
+  ASSERT_EQ(res.ops.size(), 2u);
+  EXPECT_NE(res.ops[1].detail.find("resized to 8192"), std::string::npos);
+  EXPECT_EQ(ctl.num_tasks(), 2u);
+}
+
+TEST(Planner, SplitOpRetiresTheParentId) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  const auto r = ctl.add_task(make_spec("hh", FlowKeySpec::src_ip(),
+                                        AttributeKind::kFrequency,
+                                        Algorithm::kCms, 4096,
+                                        TaskFilter::src(0x0A000000u, 8)));
+  ASSERT_TRUE(r.ok) << r.error;
+  const verify::PlanResult res = ctl.plan({PlanOp::split(r.task_id)});
+  EXPECT_TRUE(res.ok) << res.format();
+  ASSERT_EQ(res.ops.size(), 1u);
+  EXPECT_NE(res.ops[0].detail.find("split into shadow tasks"),
+            std::string::npos);
+  EXPECT_EQ(res.id_map.count(r.task_id), 0u);
+  EXPECT_EQ(ctl.num_tasks(), 1u);  // live task untouched
+}
+
+TEST(Planner, UnknownLiveIdFailsTheBatch) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  const verify::PlanResult res = ctl.plan({PlanOp::remove(999)});
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("unknown live task id 999"), std::string::npos)
+      << res.error;
+}
+
+TEST(Planner, ParanoidPreFlightRejectsWithoutTouchingTheDataPlane) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  ctl.set_paranoid(true);
+  ASSERT_TRUE(ctl.add_task(make_spec("hh", FlowKeySpec::src_ip(),
+                                     AttributeKind::kFrequency, Algorithm::kCms,
+                                     4096))
+                  .ok);
+  const std::string before = dataplane_fingerprint(dp, ctl);
+  const auto r = ctl.add_task(make_spec("whale", FlowKeySpec::dst_ip(),
+                                        AttributeKind::kFrequency,
+                                        Algorithm::kCms, 1u << 30));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("plan gate rejected deployment"), std::string::npos)
+      << r.error;
+  EXPECT_EQ(ctl.last_verify_errors(), r.error.substr(r.error.find('\n') + 1));
+  EXPECT_EQ(dataplane_fingerprint(dp, ctl), before);
+}
+
+// ---- shell `plan` command family ----
+
+TEST(ShellPlan, StageShowRunClearRoundTrip) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  control::Shell shell(ctl);
+  EXPECT_NE(shell.execute("plan").find("no staged ops"), std::string::npos);
+  EXPECT_EQ(shell.execute(
+                "plan add name=hh key=SrcIP attr=Frequency algo=CMS mem=4096"),
+            "staged op 1: add");
+  const std::string shown = shell.execute("plan show");
+  EXPECT_NE(shown.find("add \"hh\""), std::string::npos) << shown;
+  EXPECT_NE(shown.find("1 op(s) staged"), std::string::npos) << shown;
+  const std::string run = shell.execute("plan run");
+  EXPECT_NE(run.find("plan OK"), std::string::npos) << run;
+  EXPECT_NE(run.find("dry run; data plane untouched"), std::string::npos);
+  EXPECT_EQ(ctl.num_tasks(), 0u);
+  EXPECT_EQ(shell.execute("plan clear"), "cleared 1 staged op(s)");
+  EXPECT_NE(shell.execute("plan").find("no staged ops"), std::string::npos);
+}
+
+TEST(ShellPlan, CommitAppliesTheBatchAndClearsIt) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  control::Shell shell(ctl);
+  shell.execute("plan add name=hh key=SrcIP attr=Frequency algo=CMS mem=4096");
+  const std::string committed = shell.execute("plan commit");
+  EXPECT_NE(committed.find("1 op(s) committed"), std::string::npos)
+      << committed;
+  EXPECT_EQ(ctl.num_tasks(), 1u);
+  EXPECT_NE(shell.execute("plan").find("no staged ops"), std::string::npos);
+}
+
+TEST(ShellPlan, CommitAbortsOnFailedDryRunAndKeepsTheBatch) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  control::Shell shell(ctl);
+  shell.execute("plan add name=whale key=SrcIP attr=Frequency algo=CMS "
+                "mem=1073741824");
+  const std::string committed = shell.execute("plan commit");
+  EXPECT_NE(committed.find("commit aborted"), std::string::npos) << committed;
+  EXPECT_EQ(ctl.num_tasks(), 0u);
+  EXPECT_NE(shell.execute("plan show").find("1 op(s) staged"),
+            std::string::npos);
+}
+
+TEST(ShellPlan, StagingValidatesLiveTaskIds) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  control::Shell shell(ctl);
+  EXPECT_EQ(shell.execute("plan remove 42"), "error: unknown task");
+  EXPECT_EQ(shell.execute("plan resize 42 8192"), "error: unknown task");
+  EXPECT_NE(shell.execute("plan bogus").find("error: usage"),
+            std::string::npos);
+}
+
+TEST(ShellPlan, AccuracyTargetArgumentsReachTheSpec) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  control::Shell shell(ctl);
+  const std::string resp = shell.execute(
+      "add name=hh key=SrcIP attr=Frequency algo=CMS mem=4096 "
+      "eps=0.001 delta=0.05 flows=1000");
+  ASSERT_EQ(resp.rfind("error", 0), std::string::npos) << resp;
+  const auto ids = ctl.task_ids();
+  ASSERT_EQ(ids.size(), 1u);
+  const control::DeployedTask* t = ctl.task(ids[0]);
+  ASSERT_NE(t, nullptr);
+  EXPECT_DOUBLE_EQ(t->spec.target_epsilon, 0.001);
+  EXPECT_DOUBLE_EQ(t->spec.target_delta, 0.05);
+  EXPECT_EQ(t->spec.expected_items, 1000u);
+  EXPECT_EQ(shell.execute("add name=x key=SrcIP attr=Frequency algo=CMS "
+                          "mem=4096 eps=0"),
+            "error: bad eps");
+}
+
+// ---- machine-readable reports ----
+
+TEST(JsonReport, VerifyReportEncodesCountsAndEscapes) {
+  verify::VerifyReport r;
+  r.analyzers_run.push_back("dataflow-key");
+  r.add(Severity::kError, "dataflow.key.cancel", "g0.cmu1",
+        "selector \"7\" cancels", "pick two units");
+  r.add(Severity::kWarning, "dataflow.key.dead", "g0.cmu2", "8 dead bits");
+  const std::string json = verify::to_json(r);
+  EXPECT_NE(json.find("\"analyzers\":[\"dataflow-key\"]"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"counts\":{\"error\":1,\"warning\":1,\"info\":0}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"check\":\"dataflow.key.cancel\""), std::string::npos);
+  EXPECT_NE(json.find("selector \\\"7\\\" cancels"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"hint\":\"pick two units\""), std::string::npos);
+}
+
+TEST(JsonReport, SelfTestResultEncodesEveryCase) {
+  const auto result = verify::run_mutation_self_test("dataflow-");
+  ASSERT_EQ(result.cases.size(), 5u);
+  EXPECT_TRUE(result.passed()) << verify::format(result);
+  const std::string json = verify::to_json(result);
+  EXPECT_NE(json.find("\"baseline_clean\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"passed\":true"), std::string::npos);
+  for (const auto& c : result.cases) {
+    EXPECT_NE(json.find("\"mutation\":\"" + c.mutation + "\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"expected_check\":\"" + c.expected_check + "\""),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace flymon

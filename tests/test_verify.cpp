@@ -180,13 +180,16 @@ TEST(TcamLint, RangeReassemblyDetectsDuplicateBlock) {
 
 // ---- analyzer registry ----
 
-TEST(Verifier, RegistersFourBuiltInAnalyzers) {
+TEST(Verifier, RegistersSevenBuiltInAnalyzers) {
   const verify::Verifier v;
-  ASSERT_EQ(v.analyzers().size(), 4u);
+  ASSERT_EQ(v.analyzers().size(), 7u);
   EXPECT_NE(v.find("resources"), nullptr);
   EXPECT_NE(v.find("tcam"), nullptr);
   EXPECT_NE(v.find("memory"), nullptr);
   EXPECT_NE(v.find("tasks"), nullptr);
+  EXPECT_NE(v.find("dataflow-key"), nullptr);
+  EXPECT_NE(v.find("dataflow-range"), nullptr);
+  EXPECT_NE(v.find("dataflow-accuracy"), nullptr);
   EXPECT_EQ(v.find("nonesuch"), nullptr);
 }
 
@@ -204,7 +207,7 @@ TEST(Verifier, RunRecordsAnalyzersRun) {
   const verify::Verifier v;
   const verify::VerifyContext ctx{&ctl, &dp, nullptr, false};
   const auto report = v.run(ctx);
-  EXPECT_EQ(report.analyzers_run.size(), 4u);
+  EXPECT_EQ(report.analyzers_run.size(), 7u);
   EXPECT_TRUE(report.empty());  // empty deployment is trivially clean
 }
 
@@ -306,9 +309,9 @@ TEST(VerifyClean, FullCapacityNineGroupsTwentySevenCmus) {
 
 // ---- mutation self-test (the 10-corruption catalogue) ----
 
-TEST(VerifyMutations, CatalogueHasTenDistinctMutations) {
+TEST(VerifyMutations, CatalogueHasFifteenDistinctMutations) {
   const auto catalogue = verify::mutation_catalogue();
-  ASSERT_EQ(catalogue.size(), 10u);
+  ASSERT_EQ(catalogue.size(), 15u);
   std::vector<std::string> names;
   for (const auto& m : catalogue) {
     EXPECT_FALSE(m.expected_check.empty());
@@ -321,7 +324,7 @@ TEST(VerifyMutations, CatalogueHasTenDistinctMutations) {
 TEST(VerifyMutations, EverySeededCorruptionIsDetected) {
   const auto result = verify::run_mutation_self_test();
   EXPECT_TRUE(result.baseline_clean) << result.baseline_diagnostics;
-  ASSERT_EQ(result.cases.size(), 10u);
+  ASSERT_EQ(result.cases.size(), 15u);
   for (const auto& c : result.cases) {
     EXPECT_TRUE(c.detected) << c.mutation << ": expected " << c.expected_check
                             << " in\n"

@@ -4,13 +4,24 @@
 //                                 (9 groups / 27 CMUs of mixed Table-1 tasks)
 //   flymon_verify --scenario F    execute shell command lines from file F
 //                                 (one per line, '#' comments), then verify
-//   flymon_verify --selftest      seeded-corruption catalogue: every mutation
+//   flymon_verify --selftest[=P]  seeded-corruption catalogue: every mutation
 //                                 must be flagged with its expected check id
+//                                 (P restricts to mutation names starting
+//                                 with P, e.g. --selftest=dataflow-)
+//   flymon_verify --mutate NAME   corrupt a fresh world with one mutation and
+//                                 report its diagnostics (exit 1 when any
+//                                 diagnostic fires — the expected outcome)
+//   flymon_verify --dataflow      verify through the dry-run planner
+//                                 (Controller::plan with an empty batch)
 //   flymon_verify --paranoid      additionally gate every deploy on the
 //                                 verifier while the scenario runs
+//   flymon_verify --json PATH     also write the machine-readable report
+//                                 (verify report or self-test result) to PATH
 //
 // Exit status: 0 when verification is clean of errors (and the self-test
-// passes), 1 otherwise.
+// passes), 1 otherwise.  --mutate inverts the meaning: a clean report is the
+// failure, a flagged one the success (exit 1 marks "diagnostics present"
+// so CI asserts each seeded corruption actually fires).
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -21,7 +32,9 @@
 #include "control/crossstack.hpp"
 #include "control/shell.hpp"
 #include "core/flymon_dataplane.hpp"
+#include "telemetry/export.hpp"
 #include "verify/mutations.hpp"
+#include "verify/planner.hpp"
 #include "verify/verifier.hpp"
 
 namespace {
@@ -42,11 +55,37 @@ const char* const kDefaultScenario[] = {
     "add name=max-bytes key=SrcIP attr=Max algo=SuMaxMax param=Bytes mem=4096",
 };
 
-int run_selftest() {
-  const auto result = flymon::verify::run_mutation_self_test();
+bool write_json(const std::string& path, const std::string& text) {
+  if (path.empty()) return true;
+  if (!flymon::telemetry::write_file(path, text)) {
+    std::cerr << "error: cannot write '" << path << "'\n";
+    return false;
+  }
+  return true;
+}
+
+int run_selftest(const std::string& prefix, const std::string& json_path) {
+  const auto result = flymon::verify::run_mutation_self_test(prefix);
   std::cout << flymon::verify::format(result);
+  if (result.cases.empty()) {
+    std::cerr << "error: no mutation matches prefix '" << prefix << "'\n";
+    return 1;
+  }
   std::cout << (result.passed() ? "selftest passed" : "selftest FAILED") << '\n';
+  if (!write_json(json_path, flymon::verify::to_json(result))) return 1;
   return result.passed() ? 0 : 1;
+}
+
+int run_mutate(const std::string& name, const std::string& json_path) {
+  const auto report = flymon::verify::run_single_mutation(name);
+  if (!report) {
+    std::cerr << "error: unknown mutation '" << name << "' (--selftest lists)\n";
+    return 1;
+  }
+  std::cout << report->format();
+  if (!write_json(json_path, flymon::verify::to_json(*report))) return 1;
+  // Inverted: the seeded corruption is expected to produce diagnostics.
+  return report->empty() ? 0 : 1;
 }
 
 std::vector<std::string> load_scenario(const std::string& path, bool& ok) {
@@ -63,18 +102,32 @@ std::vector<std::string> load_scenario(const std::string& path, bool& ok) {
 int main(int argc, char** argv) {
   bool selftest = false;
   bool paranoid = false;
+  bool dataflow = false;
+  std::string selftest_prefix;
+  std::string mutate_name;
   std::string scenario_path;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--selftest") {
       selftest = true;
+    } else if (arg.rfind("--selftest=", 0) == 0) {
+      selftest = true;
+      selftest_prefix = arg.substr(11);
+    } else if (arg == "--mutate" && i + 1 < argc) {
+      mutate_name = argv[++i];
     } else if (arg == "--paranoid") {
       paranoid = true;
+    } else if (arg == "--dataflow") {
+      dataflow = true;
     } else if (arg == "--scenario" && i + 1 < argc) {
       scenario_path = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: flymon_verify [--scenario <file>] [--paranoid] "
-                   "[--selftest]\n";
+                   "[--dataflow] [--selftest[=prefix]] [--mutate <name>] "
+                   "[--json <path>]\n";
       return 0;
     } else {
       std::cerr << "error: unknown argument '" << arg << "' (--help)\n";
@@ -82,7 +135,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (selftest) return run_selftest();
+  if (selftest) return run_selftest(selftest_prefix, json_path);
+  if (!mutate_name.empty()) return run_mutate(mutate_name, json_path);
 
   std::vector<std::string> lines(std::begin(kDefaultScenario),
                                  std::end(kDefaultScenario));
@@ -113,13 +167,27 @@ int main(int argc, char** argv) {
     std::cout << response << '\n';
   }
 
-  const auto plan = flymon::control::cross_stack(
-      flymon::dataplane::TofinoModel::kNumStages, dp.group(0).config());
-  const auto report = flymon::verify::verify_deployment(ctl, &plan);
+  flymon::verify::VerifyReport report;
+  if (dataflow) {
+    // Route through the dry-run planner: replay the deployment on a shadow
+    // world, run all analyzers there, leave the live pipeline untouched.
+    const flymon::verify::PlanResult plan_result = ctl.plan({});
+    if (!plan_result.error.empty() &&
+        plan_result.error != "verification failed") {
+      std::cerr << "plan replay failed: " << plan_result.error << '\n';
+      return 1;
+    }
+    report = plan_result.report;
+  } else {
+    const auto plan = flymon::control::cross_stack(
+        flymon::dataplane::TofinoModel::kNumStages, dp.group(0).config());
+    report = flymon::verify::verify_deployment(ctl, &plan);
+  }
   std::cout << report.format();
   std::cout << ctl.num_tasks() << " task(s), "
             << report.count(flymon::verify::Severity::kError) << " error(s), "
             << report.count(flymon::verify::Severity::kWarning)
             << " warning(s)\n";
+  if (!write_json(json_path, flymon::verify::to_json(report))) return 1;
   return report.has_errors() ? 1 : 0;
 }
