@@ -80,10 +80,8 @@ void BM_CmuGroupProcess(benchmark::State& state) {
 }
 BENCHMARK(BM_CmuGroupProcess);
 
-void BM_FullPipeline9Groups(benchmark::State& state) {
-  FlyMonDataPlane dp(9);
-  control::Controller ctl(dp);
-  // A realistic mixed workload: one task of each attribute.
+// A realistic mixed workload: one task of each attribute.
+void deploy_mixed_workload(control::Controller& ctl) {
   TaskSpec f;
   f.key = FlowKeySpec::five_tuple();
   f.attribute = AttributeKind::kFrequency;
@@ -106,6 +104,17 @@ void BM_FullPipeline9Groups(benchmark::State& state) {
   m.memory_buckets = 16384;
   m.rows = 3;
   ctl.add_task(m);
+}
+
+// The three execution paths over the same 9-group mixed deployment.  CI
+// compares these rows: compiled must not regress vs interpreted, batched
+// must clear the 2x bar.
+
+void BM_FullPipelineInterpreted(benchmark::State& state) {
+  FlyMonDataPlane dp(9);
+  control::Controller ctl(dp);
+  deploy_mixed_workload(ctl);
+  dp.unpublish_plan();  // legacy per-packet walk of the mutable objects
   const auto trace = small_trace();
   std::size_t i = 0;
   for (auto _ : state) {
@@ -113,7 +122,33 @@ void BM_FullPipeline9Groups(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_FullPipeline9Groups);
+BENCHMARK(BM_FullPipelineInterpreted);
+
+void BM_FullPipelineCompiled(benchmark::State& state) {
+  FlyMonDataPlane dp(9);
+  control::Controller ctl(dp);
+  deploy_mixed_workload(ctl);  // publishes a compiled ExecPlan
+  const auto trace = small_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    dp.process(trace[i++ % trace.size()]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullPipelineCompiled);
+
+void BM_FullPipelineBatched(benchmark::State& state) {
+  FlyMonDataPlane dp(9);
+  control::Controller ctl(dp);
+  deploy_mixed_workload(ctl);
+  const auto trace = small_trace();
+  for (auto _ : state) {
+    dp.process_batch(trace);  // whole trace per iteration
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_FullPipelineBatched);
 
 void BM_UnivMonUpdate(benchmark::State& state) {
   auto um = sketch::UnivMon::with_memory(512 * 1024);

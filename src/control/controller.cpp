@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/bits.hpp"
+#include "exec/exec_plan.hpp"
 #include "sketch/beaucoup.hpp"
 #include "sketch/hyperloglog.hpp"
 #include "sketch/mrac.hpp"
@@ -174,6 +175,33 @@ void Controller::unref_selector(unsigned group, const CompressedKeySelector& sel
   drop(sel.unit_b);
 }
 
+std::vector<exec::EntryOwnership> Controller::entry_ownership() const {
+  std::vector<exec::EntryOwnership> owners;
+  for (const auto& [id, t] : tasks_) {
+    for (std::size_t r = 0; r < t.rows.size(); ++r) {
+      const RowPlacement& row = t.rows[r];
+      for (std::size_t u = 0; u < row.units.size(); ++u) {
+        const UnitPlacement& up = row.units[u];
+        exec::EntryOwnership o;
+        o.group = up.group;
+        o.cmu = up.cmu;
+        o.phys_id = up.phys_id;
+        o.task_id = id;
+        o.row = r;
+        o.unit = u;
+        o.name = t.spec.name;
+        owners.push_back(std::move(o));
+      }
+    }
+  }
+  return owners;
+}
+
+void Controller::recompile_and_publish() {
+  const std::vector<exec::EntryOwnership> owners = entry_ownership();
+  dp_->republish_plan(owners);
+}
+
 DeployResult Controller::add_task(const TaskSpec& spec) {
   if (paranoid_) {
     // Pre-flight: dry-run the add against a shadow world before touching
@@ -190,7 +218,10 @@ DeployResult Controller::add_task(const TaskSpec& spec) {
     }
   }
   DeployResult r = deploy(spec, next_id_);
-  if (r.ok) ++next_id_;
+  if (r.ok) {
+    ++next_id_;
+    recompile_and_publish();
+  }
   return r;
 }
 
@@ -646,6 +677,7 @@ bool Controller::remove_task(std::uint32_t id) {
   // Removal never rolls back, but paranoid mode still re-verifies so that
   // residual corruption surfaces through last_verify_errors().
   if (paranoid_) last_verify_errors_ = run_verify_gate();
+  recompile_and_publish();
   return true;
 }
 
@@ -669,6 +701,10 @@ DeployResult Controller::resize_task(std::uint32_t id, std::uint32_t new_buckets
   tasks_.insert(std::move(node));
   resizes_counter_->inc();
   fresh.task_id = id;
+  // The intermediate remove_task() published with the replacement still
+  // under its temporary id; republish so the plan's ownership labels carry
+  // the preserved public id.
+  recompile_and_publish();
   return fresh;
 }
 

@@ -219,6 +219,15 @@ class Controller {
     FlowKeySpec spec;
   };
 
+  /// Ownership labels of every installed entry, derived from tasks_ (used
+  /// to tag compiled-plan entries with public task ids).
+  std::vector<exec::EntryOwnership> entry_ownership() const;
+  /// Compile the current deployment into a fresh ExecPlan and publish it on
+  /// the data plane.  Every successful public mutation (add/remove/resize/
+  /// split) ends here, so the packet path always executes a coherent
+  /// snapshot of the newest committed configuration.
+  void recompile_and_publish();
+
   DeployResult deploy(const TaskSpec& spec, std::uint32_t public_id);
   /// Placement/installation body of deploy().  `t` is the staged task the
   /// exception-safe wrapper rolls back if this throws mid-operation.

@@ -52,7 +52,7 @@ class EpochRunner {
           origin + (static_cast<std::uint64_t>(epoch) + 1) * epoch_ns_;
       std::size_t end = begin;
       while (end < trace.size() && trace[end].ts_ns < window_end) ++end;
-      for (std::size_t i = begin; i < end; ++i) dp_->process(trace[i]);
+      dp_->process_batch(trace.subspan(begin, end - begin));
       record_epoch(end - begin);
       readout(epoch, trace.subspan(begin, end - begin));
       dp_->clear_registers();

@@ -196,6 +196,7 @@ std::string Shell::help() {
       "  plan add <add-args>    stage a deploy (same arguments as 'add')\n"
       "  plan remove <id> | resize <id> <buckets> | split <id>\n"
       "  plan run               dry-run the batch on a shadow world + verify\n"
+      "  plan diff              compiled-entry diff the batch would cause\n"
       "  plan commit            apply the batch for real (only if clean)\n"
       "  plan clear             drop the staged batch\n"
       "  list | stats | help";
@@ -290,6 +291,13 @@ std::string Shell::cmd_plan(const std::vector<std::string>& args) {
     const verify::PlanResult result = ctl_->plan(pending_);
     return result.format() + "(dry run; data plane untouched)";
   }
+  if (sub == "diff") {
+    const verify::PlanResult result = ctl_->plan(pending_);
+    std::string out = verify::format_plan_diff(result.compiled_before,
+                                               result.compiled_after);
+    if (!result.ok) out += "note: plan FAILED: " + result.error + "\n";
+    return out + "(dry run; data plane untouched)";
+  }
   if (sub == "commit") {
     const verify::PlanResult result = ctl_->plan(pending_);
     if (!result.ok) {
@@ -332,7 +340,7 @@ std::string Shell::cmd_plan(const std::vector<std::string>& args) {
     return out.str();
   }
   return "error: usage: plan [show|add <args>|remove <id>|resize <id> "
-         "<buckets>|split <id>|run|commit|clear]";
+         "<buckets>|split <id>|run|diff|commit|clear]";
 }
 
 namespace {

@@ -18,6 +18,14 @@ Cmu::Cmu(std::uint32_t register_buckets) : reg_(register_buckets), salu_(reg_) {
   salu_.preload(StatefulOp::kAndOr);
 }
 
+Cmu::Cmu(Cmu&& other) noexcept
+    : reg_(std::move(other.reg_)),
+      salu_(std::move(other.salu_)),
+      entries_(std::move(other.entries_)),
+      tel_(other.tel_) {
+  salu_.rebind(reg_);
+}
+
 void Cmu::preload_op(StatefulOp op) { salu_.preload(op); }
 
 void Cmu::bind_telemetry(telemetry::Registry& registry, unsigned group,

@@ -134,6 +134,14 @@ class Cmu {
   /// reduced operation set pre-loaded.
   explicit Cmu(std::uint32_t register_buckets);
 
+  // Movable (vector<Cmu> growth during group construction) but not
+  // copyable: the register's atomic cells are unique and the SALU must be
+  // re-pointed at the relocated register.
+  Cmu(Cmu&& other) noexcept;
+  Cmu(const Cmu&) = delete;
+  Cmu& operator=(const Cmu&) = delete;
+  Cmu& operator=(Cmu&&) = delete;
+
   /// Load an extra operation into the SALU's reserved fourth action slot
   /// (e.g. XOR for Odd Sketch, paper §6).  Throws when slots are exhausted.
   void preload_op(dataplane::StatefulOp op);
@@ -176,6 +184,18 @@ class Cmu {
                               const std::vector<std::uint32_t>& unit_keys,
                               const PhvContext& ctx) const noexcept;
 
+  // ---- snapshot accessors for the plan compiler (src/exec) ----
+  /// Pre-resolved counter handles; non-null once bind_telemetry ran (the
+  /// group binds at construction).  The compiled plan aggregates into the
+  /// very same counters the interpreted path increments.
+  telemetry::Counter* updates_counter() const noexcept { return tel_.updates; }
+  telemetry::Counter* sampled_out_counter() const noexcept { return tel_.sampled_out; }
+  telemetry::Counter* prep_aborts_counter() const noexcept { return tel_.prep_aborts; }
+  /// Lazily-registered per-op counter series, shared between the
+  /// interpreted path (first execution registers it) and the compiled plan
+  /// (registration moves to publish time).
+  telemetry::Counter* op_counter(dataplane::StatefulOp op);
+
  private:
   /// Pre-resolved counters (no registry lookup on the packet path).  Per-op
   /// counters are resolved lazily so only executed op kinds get a series.
@@ -188,8 +208,6 @@ class Cmu {
     telemetry::Counter* prep_aborts = nullptr;   ///< prep cancelled the update
     std::array<telemetry::Counter*, 5> ops{};    ///< per StatefulOp kind
   };
-
-  telemetry::Counter* op_counter(dataplane::StatefulOp op);
 
   dataplane::RegisterArray reg_;
   dataplane::Salu salu_;

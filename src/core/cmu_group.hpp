@@ -58,6 +58,10 @@ class CmuGroup {
   /// (Re)bind this group's and its CMUs' counters into `registry`.
   void bind_telemetry(telemetry::Registry& registry);
 
+  // ---- snapshot accessors for the plan compiler (src/exec) ----
+  telemetry::Counter* packets_counter() const noexcept { return packets_counter_; }
+  telemetry::Counter* hash_counter() const noexcept { return hash_counter_; }
+
  private:
   unsigned id_;
   CmuGroupConfig cfg_;

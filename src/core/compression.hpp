@@ -56,6 +56,10 @@ class CompressionStage {
   void clear_unit(unsigned i);
   const std::optional<FlowKeySpec>& spec_of(unsigned i) const { return specs_.at(i); }
 
+  /// Physical hash unit `i`.  The plan compiler copies configured units
+  /// into the ExecPlan's hash slots (HashUnit is a small value type).
+  const dataplane::HashUnit& unit(unsigned i) const { return units_.at(i); }
+
   /// First unconfigured unit, if any.
   std::optional<unsigned> free_unit() const noexcept;
 

@@ -1,26 +1,109 @@
 #include "core/flymon_dataplane.hpp"
 
+#include <algorithm>
+
+#include "exec/exec_plan.hpp"
+
 namespace flymon {
 
-FlyMonDataPlane::FlyMonDataPlane(unsigned num_groups, const CmuGroupConfig& cfg) {
+FlyMonDataPlane::FlyMonDataPlane(unsigned num_groups, const CmuGroupConfig& cfg)
+    : scratch_(std::make_unique<exec::BatchScratch>()) {
   groups_.reserve(num_groups);
   for (unsigned g = 0; g < num_groups; ++g) groups_.emplace_back(g, cfg);
   bind_telemetry(telemetry::Registry::global());
 }
 
+FlyMonDataPlane::~FlyMonDataPlane() = default;
+
 void FlyMonDataPlane::bind_telemetry(telemetry::Registry& registry) {
   registry_ = &registry;
   packets_counter_ = &registry.counter("flymon_packets_total");
   for (CmuGroup& g : groups_) g.bind_telemetry(registry);
+  // A published plan caches counter handles: recompile it against the new
+  // registry so compiled execution keeps feeding the bound counters.
+  if (plan_.load() != nullptr) republish_plan();
+}
+
+std::uint64_t FlyMonDataPlane::republish_plan(
+    std::span<const exec::EntryOwnership> owners) {
+  auto plan = exec::PlanCompiler::compile(*this, owners, ++next_generation_);
+  const std::uint64_t generation = plan->generation();
+  plan_.store(std::move(plan));
+  return generation;
+}
+
+std::uint64_t FlyMonDataPlane::republish_plan() {
+  const auto cur = plan_.load();
+  return republish_plan(cur != nullptr
+                            ? std::span<const exec::EntryOwnership>(cur->ownership())
+                            : std::span<const exec::EntryOwnership>{});
+}
+
+void FlyMonDataPlane::unpublish_plan() noexcept {
+  plan_.store(nullptr);
+}
+
+std::shared_ptr<const exec::ExecPlan> FlyMonDataPlane::current_plan() const noexcept {
+  return plan_.load();
+}
+
+std::uint64_t FlyMonDataPlane::plan_generation() const noexcept {
+  const auto plan = plan_.load();
+  return plan != nullptr ? plan->generation() : 0;
+}
+
+void FlyMonDataPlane::interpret(const Packet& pkt, bool traced) {
+  PhvContext ctx;
+  if (traced) ctx.trace = tracer_->begin(pkt);
+  for (CmuGroup& g : groups_) g.process(pkt, ctx);
+  if (ctx.trace != nullptr) tracer_->commit();
+  packets_.fetch_add(1, std::memory_order_relaxed);
+  packets_counter_->inc();
+}
+
+void FlyMonDataPlane::run_plan(const exec::ExecPlan& plan,
+                               std::span<const Packet> pkts) {
+  if (pkts.empty()) return;
+  // Bounded chunks keep the scratch (hash lanes, chain channels) hot in
+  // cache for arbitrarily long traces.
+  constexpr std::size_t kChunk = 256;
+  for (std::size_t off = 0; off < pkts.size(); off += kChunk) {
+    plan.run_batch(pkts.subspan(off, std::min(kChunk, pkts.size() - off)),
+                   *scratch_);
+  }
+  packets_.fetch_add(pkts.size(), std::memory_order_relaxed);
+  packets_counter_->inc(pkts.size());
 }
 
 void FlyMonDataPlane::process(const Packet& pkt) {
-  PhvContext ctx;
-  if (tracer_ != nullptr && tracer_->should_sample()) ctx.trace = tracer_->begin(pkt);
-  for (CmuGroup& g : groups_) g.process(pkt, ctx);
-  if (ctx.trace != nullptr) tracer_->commit();
-  ++packets_;
-  packets_counter_->inc();
+  process_batch(std::span<const Packet>(&pkt, 1));
+}
+
+std::uint64_t FlyMonDataPlane::process_batch(std::span<const Packet> pkts) {
+  const auto plan = plan_.load();
+  if (plan == nullptr) {
+    for (const Packet& p : pkts) {
+      interpret(p, tracer_ != nullptr && tracer_->should_sample());
+    }
+    return 0;
+  }
+  if (tracer_ == nullptr) {
+    run_plan(*plan, pkts);
+    return plan->generation();
+  }
+  // Tracer attached: consume the sampling sequence packet-by-packet (same
+  // records as per-packet processing) and split the batch around traced
+  // packets, which run the interpreted slow path to record their steps.
+  std::size_t run_start = 0;
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    if (tracer_->should_sample()) {
+      run_plan(*plan, pkts.subspan(run_start, i - run_start));
+      interpret(pkts[i], true);
+      run_start = i + 1;
+    }
+  }
+  run_plan(*plan, pkts.subspan(run_start));
+  return plan->generation();
 }
 
 void FlyMonDataPlane::clear_registers() {

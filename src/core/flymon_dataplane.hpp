@@ -2,51 +2,112 @@
 // pipeline order, sharing one PHV context per packet so CMUs in later
 // groups can consume results of earlier ones (SuMax chaining, max
 // inter-arrival, Counter Braids carries).
+//
+// Two execution paths share the same registers and counters:
+//   - the interpreted path walks the mutable Cmu/CompressionStage objects
+//     per packet (control-plane probes, traced packets, no plan published);
+//   - the compiled path executes an immutable exec::ExecPlan snapshot held
+//     behind an RCU-style atomic shared_ptr.  The controller republishes a
+//     freshly compiled plan after every reconfiguration; in-flight batches
+//     keep running against the plan they acquire-loaded, so reconfiguration
+//     never stalls or tears the packet path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/cmu_group.hpp"
+#include "exec/plan_cell.hpp"
 #include "telemetry/trace_ring.hpp"
+
+namespace flymon::exec {
+class ExecPlan;
+struct BatchScratch;
+struct EntryOwnership;
+}  // namespace flymon::exec
 
 namespace flymon {
 
 class FlyMonDataPlane {
  public:
   explicit FlyMonDataPlane(unsigned num_groups = 9, const CmuGroupConfig& cfg = {});
+  ~FlyMonDataPlane();
+
+  FlyMonDataPlane(const FlyMonDataPlane&) = delete;
+  FlyMonDataPlane& operator=(const FlyMonDataPlane&) = delete;
 
   unsigned num_groups() const noexcept { return static_cast<unsigned>(groups_.size()); }
   CmuGroup& group(unsigned i) { return groups_.at(i); }
   const CmuGroup& group(unsigned i) const { return groups_.at(i); }
 
-  /// Process one packet through every group in pipeline order.
+  /// Process one packet (single-packet batch).
   void process(const Packet& pkt);
 
-  /// Process a whole trace.
-  template <typename Range>
-  void process_all(const Range& trace) {
-    for (const Packet& p : trace) process(p);
-  }
+  /// Process a batch: compression (hashing) runs for the whole batch before
+  /// the attribute stages when a compiled plan is published; falls back to
+  /// the per-packet interpreted path otherwise (and for traced packets).
+  /// Returns the plan generation the batch executed under (0 = interpreted).
+  std::uint64_t process_batch(std::span<const Packet> pkts);
 
-  std::uint64_t packets_processed() const noexcept { return packets_; }
+  /// Process a whole trace through the batched path.
+  void process_all(std::span<const Packet> trace) { process_batch(trace); }
+
+  std::uint64_t packets_processed() const noexcept {
+    return packets_.load(std::memory_order_relaxed);
+  }
 
   /// Clear all registers (start of a measurement epoch).
   void clear_registers();
 
+  // ---- compiled-plan publication (RCU-style snapshot swap) ----
+
+  /// Compile the current deployment into a fresh ExecPlan (tagging entries
+  /// with `owners`) and publish it with a release store.  Returns the new
+  /// plan generation.  Call from the control thread after reconfiguring.
+  std::uint64_t republish_plan(std::span<const exec::EntryOwnership> owners);
+
+  /// Recompile with the ownership labels of the currently published plan
+  /// (used after telemetry rebinding; publishes an empty-ownership plan if
+  /// none was published before).
+  std::uint64_t republish_plan();
+
+  /// Drop the published plan: processing reverts to the interpreted path.
+  void unpublish_plan() noexcept;
+
+  /// The currently published plan (nullptr = interpreted execution).
+  std::shared_ptr<const exec::ExecPlan> current_plan() const noexcept;
+
+  /// Generation of the published plan, 0 when none.
+  std::uint64_t plan_generation() const noexcept;
+
   /// Rebind all instrumentation counters (groups, CMUs, pipeline totals)
-  /// into `registry`.  Construction binds to telemetry::Registry::global().
+  /// into `registry` and recompile the published plan against the new
+  /// counter handles.  Construction binds to telemetry::Registry::global().
   void bind_telemetry(telemetry::Registry& registry);
   telemetry::Registry& registry() const noexcept { return *registry_; }
 
   /// Attach / detach a sampled-packet tracer (not owned).  While attached,
-  /// 1-in-N packets record their PHV transformations into the ring.
+  /// 1-in-N packets record their PHV transformations into the ring; traced
+  /// packets always run the interpreted path (the compiled path does not
+  /// trace), batches split around them.
   void set_tracer(telemetry::PacketTracer* tracer) noexcept { tracer_ = tracer; }
   telemetry::PacketTracer* tracer() const noexcept { return tracer_; }
 
  private:
+  /// Legacy per-packet path against the mutable objects.
+  void interpret(const Packet& pkt, bool traced);
+  /// Run `pkts` through `plan` in bounded chunks (reusing scratch_).
+  void run_plan(const exec::ExecPlan& plan, std::span<const Packet> pkts);
+
   std::vector<CmuGroup> groups_;
-  std::uint64_t packets_ = 0;
+  std::atomic<std::uint64_t> packets_{0};
+  // The RCU cell: packet path acquire-loads, control plane release-stores.
+  exec::PlanCell plan_;
+  std::uint64_t next_generation_ = 0;  ///< control-thread only
+  std::unique_ptr<exec::BatchScratch> scratch_;  ///< processing-thread only
   telemetry::Registry* registry_ = nullptr;
   telemetry::Counter* packets_counter_ = nullptr;
   telemetry::PacketTracer* tracer_ = nullptr;

@@ -16,22 +16,31 @@ const char* to_string(StatefulOp op) noexcept {
 }
 
 RegisterArray::RegisterArray(std::uint32_t num_buckets, unsigned bit_width)
-    : cells_(num_buckets, 0u), bit_width_(bit_width) {
+    : bit_width_(bit_width) {
   if (num_buckets == 0) throw std::invalid_argument("RegisterArray: zero buckets");
   if (bit_width == 0 || bit_width > 32)
     throw std::invalid_argument("RegisterArray: bit width must be 1..32");
+  cells_ = std::make_unique<std::atomic<std::uint32_t>[]>(num_buckets);
+  size_ = num_buckets;
   value_mask_ = bit_width >= 32 ? 0xFFFF'FFFFu : ((1u << bit_width) - 1u);
 }
 
 std::vector<std::uint32_t> RegisterArray::read_range(std::uint32_t begin,
                                                      std::uint32_t end) const {
   if (begin > end || end > size()) throw std::out_of_range("RegisterArray::read_range");
-  return {cells_.begin() + begin, cells_.begin() + end};
+  std::vector<std::uint32_t> out;
+  out.reserve(end - begin);
+  for (std::uint32_t i = begin; i < end; ++i) {
+    out.push_back(cells_[i].load(std::memory_order_relaxed));
+  }
+  return out;
 }
 
 void RegisterArray::clear_range(std::uint32_t begin, std::uint32_t end) {
   if (begin > end || end > size()) throw std::out_of_range("RegisterArray::clear_range");
-  std::fill(cells_.begin() + begin, cells_.begin() + end, 0u);
+  for (std::uint32_t i = begin; i < end; ++i) {
+    cells_[i].store(0u, std::memory_order_relaxed);
+  }
 }
 
 void Salu::preload(StatefulOp op) {

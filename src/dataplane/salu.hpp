@@ -6,7 +6,9 @@
 // Cond-ADD, MAX and AND-OR; one slot stays reserved for future attributes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -30,16 +32,45 @@ const char* to_string(StatefulOp op) noexcept;
 /// Fixed-size stateful memory with uniform bucket width.  Size and width
 /// cannot change at runtime (the constraint that motivates FlyMon's address
 /// translation); only the contents can be read/cleared by the control plane.
+///
+/// Cells are relaxed atomics: the hardware register keeps serving packets
+/// while the control plane reads, clears and repartitions it, and the
+/// software model mirrors that — a processing thread and a reconfiguring
+/// control thread may touch the same cells without a data race.  Relaxed
+/// ordering is sufficient because cross-thread visibility is sequenced by
+/// the ExecPlan publish (release store / acquire load of the plan pointer).
 class RegisterArray {
  public:
-  RegisterArray(std::uint32_t num_buckets, unsigned bit_width = TofinoModel::kRegisterBitWidth);
+  explicit RegisterArray(std::uint32_t num_buckets,
+                         unsigned bit_width = TofinoModel::kRegisterBitWidth);
 
-  std::uint32_t size() const noexcept { return static_cast<std::uint32_t>(cells_.size()); }
+  RegisterArray(RegisterArray&&) noexcept = default;
+  RegisterArray& operator=(RegisterArray&&) noexcept = default;
+  RegisterArray(const RegisterArray&) = delete;
+  RegisterArray& operator=(const RegisterArray&) = delete;
+
+  std::uint32_t size() const noexcept { return size_; }
   unsigned bit_width() const noexcept { return bit_width_; }
   std::uint32_t value_mask() const noexcept { return value_mask_; }
 
-  std::uint32_t read(std::uint32_t addr) const { return cells_.at(addr); }
-  void write(std::uint32_t addr, std::uint32_t v) { cells_.at(addr) = v & value_mask_; }
+  std::uint32_t read(std::uint32_t addr) const {
+    check(addr);
+    return cells_[addr].load(std::memory_order_relaxed);
+  }
+  void write(std::uint32_t addr, std::uint32_t v) {
+    check(addr);
+    cells_[addr].store(v & value_mask_, std::memory_order_relaxed);
+  }
+
+  /// Unchecked hot-path accessors for the compiled ExecPlan: the compiler
+  /// proves every translated address in bounds at publish time, and the
+  /// store side masks values itself.
+  std::uint32_t load_relaxed(std::uint32_t addr) const noexcept {
+    return cells_[addr].load(std::memory_order_relaxed);
+  }
+  void store_relaxed(std::uint32_t addr, std::uint32_t v) noexcept {
+    cells_[addr].store(v, std::memory_order_relaxed);
+  }
 
   /// Control-plane bulk read of [begin, end).
   std::vector<std::uint32_t> read_range(std::uint32_t begin, std::uint32_t end) const;
@@ -54,7 +85,12 @@ class RegisterArray {
   }
 
  private:
-  std::vector<std::uint32_t> cells_;
+  void check(std::uint32_t addr) const {
+    if (addr >= size_) throw std::out_of_range("RegisterArray: address out of range");
+  }
+
+  std::unique_ptr<std::atomic<std::uint32_t>[]> cells_;
+  std::uint32_t size_ = 0;
   unsigned bit_width_;
   std::uint32_t value_mask_;
 };
@@ -78,6 +114,10 @@ class Salu {
   /// arithmetic saturates at the register's bit width.
   std::uint32_t execute(StatefulOp op, std::uint32_t addr, std::uint32_t p1,
                         std::uint32_t p2);
+
+  /// Re-point at a relocated register (the owning CMU rebinding after a
+  /// move); pre-loaded operations are preserved.
+  void rebind(RegisterArray& reg) noexcept { reg_ = &reg; }
 
   RegisterArray& reg() noexcept { return *reg_; }
   const RegisterArray& reg() const noexcept { return *reg_; }

@@ -1,0 +1,199 @@
+#include "exec/exec_plan.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace flymon::exec {
+
+namespace {
+
+inline std::uint32_t resolve(const CompiledParam& p, const Packet& pkt,
+                             const std::uint32_t* lanes,
+                             const std::uint32_t* chains) noexcept {
+  switch (p.kind) {
+    case CompiledParam::Kind::kConst:
+      return p.value;
+    case CompiledParam::Kind::kMeta:
+      return static_cast<std::uint32_t>(read_meta(pkt, p.meta));
+    case CompiledParam::Kind::kKey:
+      return ((lanes[p.slot_a] ^ lanes[p.slot_b]) >> p.shift) & p.mask;
+    case CompiledParam::Kind::kChain:
+      return chains[p.value];
+  }
+  return 0;
+}
+
+}  // namespace
+
+void ExecPlan::run_cmu(const CompiledCmu& cmu, const Packet& pkt,
+                       const CandidateKey& key, const std::uint32_t* lanes,
+                       std::uint32_t* chains, std::uint64_t& updates,
+                       std::uint64_t& sampled_out, std::uint64_t& prep_aborts,
+                       std::array<std::uint64_t, 5>& op_counts) const {
+  for (std::uint32_t i = cmu.entry_begin; i < cmu.entry_end; ++i) {
+    const CompiledEntry& e = entries_[i];
+
+    // Initialization: filter match (first match wins) + sampling coin.
+    if (((pkt.ft.src_ip ^ e.filter_src_ip) & e.filter_src_mask) != 0) continue;
+    if (((pkt.ft.dst_ip ^ e.filter_dst_ip) & e.filter_dst_mask) != 0) continue;
+    if (e.sampled) {
+      const std::uint64_t h = hash64(
+          std::span<const std::uint8_t>(key.data(), key.size()), e.sample_seed);
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      if (u >= e.sample_probability) {
+        ++sampled_out;
+        continue;  // next matching task may run
+      }
+    }
+
+    // Preparation: pre-shifted address translation + parameter resolution.
+    const std::uint32_t selected = lanes[e.key_slot_a] ^ lanes[e.key_slot_b];
+    const std::uint32_t sliced = (selected >> e.key_shift) & e.key_mask;
+    const std::uint32_t addr =
+        e.addr_base + ((sliced >> e.addr_shift) & e.addr_mask);
+    std::uint32_t p1 = resolve(e.p1, pkt, lanes, chains);
+    std::uint32_t p2 = resolve(e.p2, pkt, lanes, chains);
+    const std::uint32_t p2_raw = p2;
+
+    switch (e.prep) {
+      case PrepFn::kNone:
+        break;
+      case PrepFn::kCouponOneHot: {
+        p1 ^= (p1 >> 16) | (p1 << 16);
+        const double u = static_cast<double>(p1) * 0x1.0p-32;
+        if (u >= e.coupon_total) {  // no coupon drawn: no update
+          ++prep_aborts;
+          return;
+        }
+        const auto idx =
+            std::min<unsigned>(static_cast<unsigned>(u / e.coupon_probability),
+                               e.coupon_count - 1);
+        p1 = 1u << idx;
+        p2 = 1;
+        break;
+      }
+      case PrepFn::kBitSelectOneHot:
+        p1 = 1u << (p1 & 31u);
+        p2 = 1;
+        break;
+      case PrepFn::kSubtractGated: {
+        const std::uint32_t gate = chains[e.gate_chain];
+        p1 = gate != 0 ? (p1 > p2 ? p1 - p2 : 0u) : 0u;
+        p2 = 0;
+        break;
+      }
+      case PrepFn::kKeepOnChainZero:
+        if (chains[e.gate_chain] != 0) p1 = 0;
+        break;
+      case PrepFn::kBitSelectOneHotGated:
+        p1 = chains[e.gate_chain] == 0 ? (1u << (p1 & 31u)) : 0u;
+        break;
+    }
+
+    // Operation: inlined SALU semantics (same arithmetic as Salu::execute,
+    // on the shared register, without touching any mutable SALU state).
+    const std::uint32_t mask = e.value_mask;
+    const std::uint32_t cur = cmu.reg->load_relaxed(addr);
+    std::uint32_t result = 0;
+    switch (e.op) {
+      case dataplane::StatefulOp::kNop:
+        result = cur;
+        break;
+      case dataplane::StatefulOp::kCondAdd:
+        if (cur < p2) {
+          const std::uint64_t sum = std::uint64_t{cur} + p1;
+          const std::uint32_t next =
+              sum > mask ? mask : static_cast<std::uint32_t>(sum);
+          cmu.reg->store_relaxed(addr, next & mask);
+          result = next;
+        }
+        break;
+      case dataplane::StatefulOp::kMax:
+        if (cur < (p1 & mask)) {
+          cmu.reg->store_relaxed(addr, p1 & mask);
+          result = p1 & mask;
+        }
+        break;
+      case dataplane::StatefulOp::kAndOr: {
+        const std::uint32_t next = (p2 == 0) ? (cur & p1) : (cur | p1);
+        cmu.reg->store_relaxed(addr, next & mask);
+        result = next;
+        break;
+      }
+      case dataplane::StatefulOp::kXor: {
+        const std::uint32_t next = cur ^ (p1 & mask);
+        cmu.reg->store_relaxed(addr, next & mask);
+        result = next;
+        break;
+      }
+    }
+
+    std::uint32_t out = result;
+    if (e.output_old_value) {
+      out = e.one_hot_export ? ((cur & p1) != 0 ? 1u : 0u) : cur;
+    }
+    if (e.chain_out != kNoChain) {
+      chains[e.chain_out] = (e.chain_fallback && result == 0) ? p2_raw : out;
+    }
+    ++updates;
+    ++op_counts[static_cast<std::size_t>(e.op)];
+    return;  // at most one entry executes per CMU per packet
+  }
+}
+
+void ExecPlan::run_batch(std::span<const Packet> pkts, BatchScratch& s) const {
+  const std::size_t n = pkts.size();
+  if (n == 0) return;
+  const std::size_t num_slots = slots_.size();
+  const std::size_t num_chains = chain_count_;
+
+  // Compression stage, batched: serialize and hash every packet up front.
+  // Lane 0 stays zero (the "unconfigured unit / no selector" lane).
+  s.keys.resize(n);
+  s.lanes.assign(n * num_slots, 0u);
+  s.chains.assign(n * num_chains, 0u);
+  for (std::size_t p = 0; p < n; ++p) {
+    s.keys[p] = serialize_candidate_key(pkts[p]);
+    std::uint32_t* lane = &s.lanes[p * num_slots];
+    for (std::size_t sl = 1; sl < num_slots; ++sl) {
+      lane[sl] = slots_[sl].unit.compute(s.keys[p]);
+    }
+  }
+
+  // Attribute stages, group-major.  Within a CMU packets run in trace
+  // order, so final register state is byte-identical to per-packet
+  // processing; chain channels are per-packet, so reordering across CMUs
+  // of different packets cannot be observed.
+  for (const CompiledGroup& g : groups_) {
+    if (g.packets != nullptr) g.packets->inc(n);
+    if (g.hashes != nullptr && g.configured_units != 0) {
+      g.hashes->inc(static_cast<std::uint64_t>(n) * g.configured_units);
+    }
+    for (std::uint32_t c = g.cmu_begin; c < g.cmu_end; ++c) {
+      const CompiledCmu& cmu = cmus_[c];
+      if (cmu.entry_begin == cmu.entry_end) continue;
+      std::uint64_t updates = 0, sampled_out = 0, prep_aborts = 0;
+      std::array<std::uint64_t, 5> op_counts{};
+      for (std::size_t p = 0; p < n; ++p) {
+        run_cmu(cmu, pkts[p], s.keys[p], &s.lanes[p * num_slots],
+                &s.chains[p * num_chains], updates, sampled_out, prep_aborts,
+                op_counts);
+      }
+      // Flush the batch-aggregated counters (Counter::inc self-gates on
+      // telemetry::enabled()).
+      if (updates != 0 && cmu.updates != nullptr) cmu.updates->inc(updates);
+      if (sampled_out != 0 && cmu.sampled_out != nullptr)
+        cmu.sampled_out->inc(sampled_out);
+      if (prep_aborts != 0 && cmu.prep_aborts != nullptr)
+        cmu.prep_aborts->inc(prep_aborts);
+      for (std::size_t op = 0; op < op_counts.size(); ++op) {
+        if (op_counts[op] != 0 && cmu.op_counters[op] != nullptr) {
+          cmu.op_counters[op]->inc(op_counts[op]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace flymon::exec

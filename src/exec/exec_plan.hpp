@@ -1,0 +1,209 @@
+// Compiled execution plan for the FlyMon packet path (ChameleMon-style
+// hitless reconfiguration; MAFIA-style compiled measurement programs).
+//
+// The interpreted path re-resolves TCAM entries, hash masks and
+// address-translation parameters per packet against the *mutable*
+// Cmu/CompressionStage objects the controller edits.  The ExecPlan is the
+// opposite: an immutable, flat, cache-friendly array of per-CMU compiled
+// entries produced by the PlanCompiler from a deployment snapshot.  The
+// data plane holds the current plan behind an RCU-style
+// std::atomic<std::shared_ptr<const ExecPlan>>: packets acquire-load the
+// pointer, the controller publishes a freshly compiled plan with a release
+// store after every reconfiguration — the packet path never stalls and
+// never observes a torn configuration.
+//
+// Registers and telemetry counters stay SHARED with the live data plane
+// (the plan holds pointers, not copies), so epoch reads/clears and the
+// exporters are unchanged; only the *configuration* is snapshotted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cmu.hpp"
+#include "dataplane/hash_unit.hpp"
+#include "dataplane/salu.hpp"
+#include "packet/exact.hpp"
+#include "packet/packet.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace flymon {
+class FlyMonDataPlane;
+}  // namespace flymon
+
+namespace flymon::exec {
+
+/// Which controller task owns one installed (group, cmu, phys_id) entry.
+/// The controller passes these labels at publish time so compiled entries
+/// can be described in terms of public task ids without exec depending on
+/// control-plane headers.
+struct EntryOwnership {
+  unsigned group = 0;
+  unsigned cmu = 0;
+  std::uint32_t phys_id = 0;   ///< task id installed in the CMU
+  std::uint32_t task_id = 0;   ///< public controller id
+  std::size_t row = 0;         ///< row index within the owning task
+  std::size_t unit = 0;        ///< unit index within the row
+  std::string name;            ///< task name (diagnostics only)
+};
+
+/// A lowered parameter selection: everything pre-resolved except the
+/// per-packet inputs (metadata fields, hash lanes, chain channels).
+struct CompiledParam {
+  enum class Kind : std::uint8_t { kConst, kMeta, kKey, kChain };
+
+  Kind kind = Kind::kConst;
+  MetaField meta = MetaField::kOne;
+  std::uint16_t slot_a = 0;          ///< kKey: hash-lane index (0 = zero lane)
+  std::uint16_t slot_b = 0;
+  std::uint8_t shift = 0;            ///< kKey: pre-resolved slice shift
+  std::uint32_t mask = 0xFFFF'FFFFu; ///< kKey: pre-resolved slice mask
+  std::uint32_t value = 0;           ///< kConst value / kChain dense index
+};
+
+/// One installed CMU task entry, fully lowered: filter as xor/mask pairs,
+/// matched-rule key selector as lane indices, pre-shifted address
+/// translation, one-hot/interval constants, and a small op-code.
+struct CompiledEntry {
+  // Initialization: filter match + probabilistic-execution coin.
+  std::uint32_t filter_src_ip = 0;
+  std::uint32_t filter_src_mask = 0;  ///< 0 = wildcard
+  std::uint32_t filter_dst_ip = 0;
+  std::uint32_t filter_dst_mask = 0;
+  bool sampled = false;               ///< sample_probability < 1
+  double sample_probability = 1.0;
+  std::uint64_t sample_seed = 0;      ///< 0xC01F + phys task id
+
+  // Dynamic key: XOR of two hash lanes, sliced.
+  std::uint16_t key_slot_a = 0;
+  std::uint16_t key_slot_b = 0;
+  std::uint8_t key_shift = 0;
+  std::uint32_t key_mask = 0xFFFF'FFFFu;
+
+  // Pre-shifted address translation onto the power-of-two partition.
+  std::uint8_t addr_shift = 0;
+  std::uint32_t addr_mask = 0;        ///< partition.size - 1
+  std::uint32_t addr_base = 0;
+
+  CompiledParam p1, p2;
+
+  // Preparation stage.
+  PrepFn prep = PrepFn::kNone;
+  std::uint16_t gate_chain = 0;       ///< dense chain index (0 reads zero)
+  std::uint32_t coupon_count = 0;
+  double coupon_probability = 0.0;
+  double coupon_total = 0.0;          ///< probability * count, precomputed
+
+  // Operation stage.
+  dataplane::StatefulOp op = dataplane::StatefulOp::kNop;
+  std::uint32_t value_mask = 0xFFFF'FFFFu;
+  bool output_old_value = false;
+  bool one_hot_export = false;        ///< old-value export probes one bit
+  std::uint16_t chain_out = 0xFFFF;   ///< dense chain index, 0xFFFF = none
+  bool chain_fallback = false;
+};
+
+inline constexpr std::uint16_t kNoChain = 0xFFFF;
+
+/// One CMU's compiled view: its slice of the flat entry array plus the
+/// shared register and counter handles.
+struct CompiledCmu {
+  std::uint32_t entry_begin = 0;
+  std::uint32_t entry_end = 0;
+  dataplane::RegisterArray* reg = nullptr;
+  telemetry::Counter* updates = nullptr;
+  telemetry::Counter* sampled_out = nullptr;
+  telemetry::Counter* prep_aborts = nullptr;
+  std::array<telemetry::Counter*, 5> op_counters{};  ///< per StatefulOp kind
+};
+
+/// One group's compiled view: its slice of the CMU array plus the batched
+/// compression-stage bookkeeping.
+struct CompiledGroup {
+  std::uint32_t cmu_begin = 0;
+  std::uint32_t cmu_end = 0;
+  std::uint32_t configured_units = 0;  ///< hash invocations per packet
+  telemetry::Counter* packets = nullptr;
+  telemetry::Counter* hashes = nullptr;
+};
+
+/// One compiled hash lane: a snapshot copy of a configured hash unit.
+/// Lane 0 is the constant-zero lane (unconfigured / absent selectors).
+struct HashSlot {
+  dataplane::HashUnit unit;
+  unsigned group = 0;
+  unsigned unit_index = 0;
+};
+
+/// Reusable per-batch working memory (hash lanes, chain channels).  Owned
+/// by whoever drives run_batch — one scratch per processing thread.
+struct BatchScratch {
+  std::vector<CandidateKey> keys;
+  std::vector<std::uint32_t> lanes;   ///< packets x num_hash_slots
+  std::vector<std::uint32_t> chains;  ///< packets x num_chain_channels
+};
+
+class ExecPlan {
+ public:
+  /// Monotonic publish generation (0 is reserved for "no plan /
+  /// interpreted"); exposed so tests can prove every batch executed
+  /// against exactly one coherent snapshot.
+  std::uint64_t generation() const noexcept { return generation_; }
+
+  std::size_t num_entries() const noexcept { return entries_.size(); }
+  std::size_t num_hash_slots() const noexcept { return slots_.size(); }
+  std::size_t num_chain_channels() const noexcept { return chain_count_; }
+
+  /// Ownership labels the plan was compiled with (kept so the data plane
+  /// can recompile on telemetry rebinding without asking the controller).
+  const std::vector<EntryOwnership>& ownership() const noexcept { return owners_; }
+
+  /// Stable, pointer-free per-entry description lines ("label: config"),
+  /// ordered like the flat entry array.  The --plan-diff tooling compares
+  /// these across compiles.
+  const std::vector<std::string>& signature() const noexcept { return signature_; }
+
+  /// Execute the whole batch: compression stage for every packet first
+  /// (batched hashing), then the attribute stages group-major.  Per-CMU
+  /// packet order is preserved, so the final register state is
+  /// byte-identical to per-packet processing.  Telemetry counters are
+  /// aggregated per batch and flushed once.
+  void run_batch(std::span<const Packet> pkts, BatchScratch& scratch) const;
+
+ private:
+  friend class PlanCompiler;
+
+  void run_cmu(const CompiledCmu& cmu, const Packet& pkt, const CandidateKey& key,
+               const std::uint32_t* lanes, std::uint32_t* chains,
+               std::uint64_t& updates, std::uint64_t& sampled_out,
+               std::uint64_t& prep_aborts,
+               std::array<std::uint64_t, 5>& op_counts) const;
+
+  std::uint64_t generation_ = 0;
+  std::vector<HashSlot> slots_;       ///< slot 0 = constant-zero lane
+  std::vector<CompiledGroup> groups_;
+  std::vector<CompiledCmu> cmus_;
+  std::vector<CompiledEntry> entries_;
+  std::size_t chain_count_ = 1;       ///< dense channels incl. the zero cell
+  std::vector<EntryOwnership> owners_;
+  std::vector<std::string> signature_;
+};
+
+/// Compiles a (data plane, ownership) snapshot into an ExecPlan.  Resolves
+/// every per-packet lookup the interpreted path performs — hash-unit
+/// masks, matched-rule key selection, prep constants, address translation,
+/// counter handles — into flat per-entry constants.  Must be called from
+/// the control thread (it reads the mutable deployment state and lazily
+/// registers per-op counter series).
+class PlanCompiler {
+ public:
+  static std::shared_ptr<const ExecPlan> compile(
+      FlyMonDataPlane& dp, std::span<const EntryOwnership> owners,
+      std::uint64_t generation);
+};
+
+}  // namespace flymon::exec

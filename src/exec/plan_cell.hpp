@@ -1,0 +1,49 @@
+// The RCU cell holding the published ExecPlan.  Semantically an atomic
+// shared_ptr: the control plane release-stores a freshly compiled snapshot,
+// the packet path acquire-loads it once per batch, and in-flight batches
+// keep the snapshot they loaded alive through the returned shared_ptr — so
+// publishing never waits for (or tears) packet processing.
+//
+// It is not std::atomic<std::shared_ptr<T>> because libstdc++ 12's
+// _Sp_atomic unlocks the reader side of its pointer spinlock with
+// memory_order_relaxed, leaving no release edge between a reader's plain
+// control-block read and the next publisher's write; ThreadSanitizer flags
+// that (correctly, per the C++ memory model).  A mutex whose critical
+// section only copies/swaps the pointer has the same cost profile as the
+// spinlock+refcount dance (one uncontended lock per batch) and is clean
+// under TSan.  The previous snapshot is destroyed outside the lock so a
+// publisher never runs the plan destructor while holding it.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace flymon::exec {
+
+class ExecPlan;
+
+class PlanCell {
+ public:
+  /// Acquire the current snapshot (nullptr = no plan published).
+  std::shared_ptr<const ExecPlan> load() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return plan_;
+  }
+
+  /// Publish `next` (may be nullptr to unpublish).  The displaced
+  /// snapshot's reference is dropped after the lock is released.
+  void store(std::shared_ptr<const ExecPlan> next) noexcept {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      plan_.swap(next);
+    }
+    // `next` now holds the old snapshot; it dies here, outside the lock.
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ExecPlan> plan_;
+};
+
+}  // namespace flymon::exec

@@ -1,0 +1,272 @@
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "core/flymon_dataplane.hpp"
+#include "exec/exec_plan.hpp"
+#include "ir/ir.hpp"
+
+namespace flymon::exec {
+
+namespace {
+
+std::uint32_t prefix_mask(std::uint8_t len) noexcept {
+  if (len == 0) return 0;
+  if (len >= 32) return 0xFFFF'FFFFu;
+  return ~((1u << (32 - len)) - 1u);
+}
+
+const char* prep_name(PrepFn f) noexcept {
+  switch (f) {
+    case PrepFn::kNone: return "none";
+    case PrepFn::kCouponOneHot: return "coupon";
+    case PrepFn::kBitSelectOneHot: return "onehot";
+    case PrepFn::kSubtractGated: return "subgate";
+    case PrepFn::kKeepOnChainZero: return "keep0";
+    case PrepFn::kBitSelectOneHotGated: return "onehot-gated";
+  }
+  return "?";
+}
+
+void describe_param(std::ostringstream& os, const ParamSelect& sel) {
+  switch (sel.source) {
+    case ParamSelect::Source::kConst:
+      os << "const:" << sel.const_value;
+      break;
+    case ParamSelect::Source::kMeta:
+      os << "meta:" << static_cast<unsigned>(sel.meta);
+      break;
+    case ParamSelect::Source::kCompressedKey:
+      os << "key:u" << int{sel.key_sel.unit_a} << "^u" << int{sel.key_sel.unit_b}
+         << "[" << unsigned{sel.slice.offset} << "+" << unsigned{sel.slice.width}
+         << "]";
+      break;
+    case ParamSelect::Source::kChain:
+      os << "chain:" << sel.const_value;
+      break;
+  }
+}
+
+/// Pointer-free, deterministic description of one installed entry.  Two
+/// compiles of behaviourally identical deployments produce identical lines;
+/// the --plan-diff tooling compares them as sets.
+std::string describe_entry(unsigned g, unsigned c, const CmuTaskEntry& e,
+                           const EntryOwnership* owner) {
+  std::ostringstream os;
+  if (owner != nullptr) {
+    os << "task " << owner->task_id << " \"" << owner->name << "\" row "
+       << owner->row << " unit " << owner->unit;
+  } else {
+    os << "phys " << e.task_id;
+  }
+  os << " @g" << g << "/c" << c << ": filter=";
+  if (e.filter.is_wildcard()) {
+    os << "any";
+  } else {
+    os << e.filter.src_ip << "/" << unsigned{e.filter.src_len} << "->"
+       << e.filter.dst_ip << "/" << unsigned{e.filter.dst_len};
+  }
+  os << " prio=" << e.priority;
+  if (e.sample_probability < 1.0) {
+    os << " sample=" << std::setprecision(17) << e.sample_probability;
+  }
+  os << " key=u" << int{e.key_sel.unit_a} << "^u" << int{e.key_sel.unit_b}
+     << "[" << unsigned{e.key_slice.offset} << "+" << unsigned{e.key_slice.width}
+     << "] mem[" << e.partition.base << "+" << e.partition.size << "]";
+  os << " p1=";
+  describe_param(os, e.p1);
+  os << " p2=";
+  describe_param(os, e.p2);
+  os << " prep=" << prep_name(e.prep);
+  if (e.prep == PrepFn::kCouponOneHot) {
+    os << "(" << e.coupon.num_coupons << "," << std::setprecision(17)
+       << e.coupon.draw_probability << ")";
+  }
+  if (e.chain_gate != 0) os << " gate=" << e.chain_gate;
+  os << " op=" << dataplane::to_string(e.op);
+  if (e.output_old_value) os << " old";
+  if (e.chain_out != 0) os << " chain_out=" << e.chain_out;
+  if (e.chain_fallback) os << " fallback";
+  return os.str();
+}
+
+}  // namespace
+
+std::shared_ptr<const ExecPlan> PlanCompiler::compile(
+    FlyMonDataPlane& dp, std::span<const EntryOwnership> owners,
+    std::uint64_t generation) {
+  auto plan = std::make_shared<ExecPlan>();
+  plan->generation_ = generation;
+  plan->owners_.assign(owners.begin(), owners.end());
+  plan->slots_.emplace_back();  // lane 0: constant zero
+
+  // Dense chain-channel remap: channel 0 (the "unused" sentinel, never
+  // written by the interpreted path) keeps dense index 0, which batch
+  // scratch zero-fills and no compiled entry writes.
+  std::map<std::uint32_t, std::uint16_t> chain_index;
+  const auto chain_of = [&](std::uint32_t channel) -> std::uint16_t {
+    if (channel == 0) return 0;
+    const auto [it, fresh] = chain_index.emplace(
+        channel, static_cast<std::uint16_t>(chain_index.size() + 1));
+    (void)fresh;
+    return it->second;
+  };
+
+  // Enumerate the deployment through the same walk the IR builder lowers
+  // analyzer nodes from, so the compiled plan and the static analyses can
+  // never disagree about the entry set or its evaluation order.
+  struct RawEntry {
+    unsigned group, cmu;
+    const CmuTaskEntry* entry;
+  };
+  std::vector<RawEntry> raw;
+  ir::for_each_installed_entry(
+      dp, [&](unsigned g, unsigned c, Cmu&, const CmuTaskEntry& e) {
+        raw.push_back({g, c, &e});
+      });
+  std::size_t ri = 0;
+
+  for (unsigned g = 0; g < dp.num_groups(); ++g) {
+    CmuGroup& grp = dp.group(g);
+    const CompressionStage& comp = grp.compression();
+
+    // Hash lanes: one slot per configured unit *referenced by some entry*
+    // (unreferenced units are still counted for hash-invocation telemetry
+    // but never influence state, so the plan skips hashing them).
+    std::map<unsigned, std::uint16_t> unit_slot;
+    const auto slot_of = [&](std::int8_t unit) -> std::uint16_t {
+      if (unit < 0) return 0;
+      const auto u = static_cast<unsigned>(unit);
+      if (u >= comp.num_units() || !comp.spec_of(u)) return 0;
+      const auto it = unit_slot.find(u);
+      if (it != unit_slot.end()) return it->second;
+      const auto slot = static_cast<std::uint16_t>(plan->slots_.size());
+      plan->slots_.push_back(HashSlot{comp.unit(u), g, u});
+      unit_slot.emplace(u, slot);
+      return slot;
+    };
+
+    CompiledGroup cg;
+    cg.cmu_begin = static_cast<std::uint32_t>(plan->cmus_.size());
+    cg.packets = grp.packets_counter();
+    cg.hashes = grp.hash_counter();
+    for (unsigned u = 0; u < comp.num_units(); ++u) {
+      if (comp.spec_of(u)) ++cg.configured_units;
+    }
+
+    for (unsigned c = 0; c < grp.num_cmus(); ++c) {
+      Cmu& cmu = grp.cmu(c);
+      CompiledCmu cc;
+      cc.entry_begin = static_cast<std::uint32_t>(plan->entries_.size());
+      cc.reg = &cmu.reg();
+      cc.updates = cmu.updates_counter();
+      cc.sampled_out = cmu.sampled_out_counter();
+      cc.prep_aborts = cmu.prep_aborts_counter();
+
+      while (ri < raw.size() && raw[ri].group == g && raw[ri].cmu == c) {
+        const CmuTaskEntry& e = *raw[ri++].entry;
+        CompiledEntry ce;
+        ce.filter_src_ip = e.filter.src_ip;
+        ce.filter_src_mask = prefix_mask(e.filter.src_len);
+        ce.filter_dst_ip = e.filter.dst_ip;
+        ce.filter_dst_mask = prefix_mask(e.filter.dst_len);
+        ce.sampled = e.sample_probability < 1.0;
+        ce.sample_probability = e.sample_probability;
+        ce.sample_seed = 0xC01Full + e.task_id;
+
+        ce.key_slot_a = slot_of(e.key_sel.unit_a);
+        ce.key_slot_b = slot_of(e.key_sel.unit_b);
+        ce.key_shift = e.key_slice.offset;
+        ce.key_mask = e.key_slice.width >= 32
+                          ? 0xFFFF'FFFFu
+                          : ((1u << e.key_slice.width) - 1u);
+
+        if (e.partition.size == 0 || e.partition.end() > cmu.reg().size()) {
+          throw std::logic_error("PlanCompiler: entry partition outside register");
+        }
+        const unsigned size_log = log2_floor(e.partition.size);
+        ce.addr_shift = e.key_slice.width >= size_log
+                            ? static_cast<std::uint8_t>(e.key_slice.width - size_log)
+                            : 0u;
+        ce.addr_mask = e.partition.size - 1u;
+        ce.addr_base = e.partition.base;
+
+        const auto lower_param = [&](const ParamSelect& sel) {
+          CompiledParam p;
+          switch (sel.source) {
+            case ParamSelect::Source::kConst:
+              p.kind = CompiledParam::Kind::kConst;
+              p.value = sel.const_value;
+              break;
+            case ParamSelect::Source::kMeta:
+              p.kind = CompiledParam::Kind::kMeta;
+              p.meta = sel.meta;
+              break;
+            case ParamSelect::Source::kCompressedKey:
+              p.kind = CompiledParam::Kind::kKey;
+              p.slot_a = slot_of(sel.key_sel.unit_a);
+              p.slot_b = slot_of(sel.key_sel.unit_b);
+              p.shift = sel.slice.offset;
+              p.mask = sel.slice.width >= 32 ? 0xFFFF'FFFFu
+                                             : ((1u << sel.slice.width) - 1u);
+              break;
+            case ParamSelect::Source::kChain:
+              p.kind = CompiledParam::Kind::kChain;
+              p.value = chain_of(sel.const_value);
+              break;
+          }
+          return p;
+        };
+        ce.p1 = lower_param(e.p1);
+        ce.p2 = lower_param(e.p2);
+
+        ce.prep = e.prep;
+        if (e.prep == PrepFn::kSubtractGated || e.prep == PrepFn::kKeepOnChainZero ||
+            e.prep == PrepFn::kBitSelectOneHotGated) {
+          ce.gate_chain = chain_of(e.chain_gate);
+        }
+        if (e.prep == PrepFn::kCouponOneHot) {
+          ce.coupon_count = e.coupon.num_coupons;
+          ce.coupon_probability = e.coupon.draw_probability;
+          // Same operands, same expression as the interpreted path, so the
+          // precomputed threshold is bit-identical.
+          ce.coupon_total = e.coupon.draw_probability * e.coupon.num_coupons;
+        }
+
+        ce.op = e.op;
+        ce.value_mask = cmu.reg().value_mask();
+        ce.output_old_value = e.output_old_value;
+        ce.one_hot_export = e.prep == PrepFn::kBitSelectOneHot ||
+                            e.prep == PrepFn::kCouponOneHot;
+        ce.chain_out = e.chain_out != 0 ? chain_of(e.chain_out) : kNoChain;
+        ce.chain_fallback = e.chain_fallback;
+
+        // Resolve counter series at publish time, never on the packet path.
+        cc.op_counters[static_cast<std::size_t>(e.op)] = cmu.op_counter(e.op);
+
+        const EntryOwnership* owner = nullptr;
+        for (const EntryOwnership& o : plan->owners_) {
+          if (o.group == g && o.cmu == c && o.phys_id == e.task_id) {
+            owner = &o;
+            break;
+          }
+        }
+        plan->signature_.push_back(describe_entry(g, c, e, owner));
+        plan->entries_.push_back(ce);
+      }
+
+      cc.entry_end = static_cast<std::uint32_t>(plan->entries_.size());
+      plan->cmus_.push_back(cc);
+    }
+
+    cg.cmu_end = static_cast<std::uint32_t>(plan->cmus_.size());
+    plan->groups_.push_back(cg);
+  }
+
+  plan->chain_count_ = chain_index.size() + 1;
+  return plan;
+}
+
+}  // namespace flymon::exec

@@ -190,16 +190,13 @@ PipelineIr extract_ir(const FlyMonDataPlane& dp, const control::Controller* ctl,
     }
   }
 
-  for (unsigned g = 0; g < dp.num_groups(); ++g) {
-    const CmuGroup& grp = dp.group(g);
-    for (unsigned c = 0; c < grp.num_cmus(); ++c) {
-      const Cmu& cmu = grp.cmu(c);
-      for (const CmuTaskEntry& e : cmu.entries()) {
+  for_each_installed_entry(
+      dp, [&](unsigned g, unsigned c, const Cmu& cmu, const CmuTaskEntry& e) {
         EntryNode n;
         n.group = g;
         n.cmu = c;
         n.phys_id = e.task_id;
-        n.key = lower_key(grp.compression(), e.key_sel, e.key_slice);
+        n.key = lower_key(dp.group(g).compression(), e.key_sel, e.key_slice);
         n.p1 = lower_param(e.p1);
         n.p2 = lower_param(e.p2);
         n.prep = e.prep;
@@ -215,9 +212,7 @@ PipelineIr extract_ir(const FlyMonDataPlane& dp, const control::Controller* ctl,
         n.register_size = cmu.reg().size();
         n.address = lower_address(e.key_slice, e.partition, n.register_size);
         irx.entries.push_back(std::move(n));
-      }
-    }
-  }
+      });
 
   if (ctl != nullptr) {
     for (const std::uint32_t id : ctl->task_ids()) {

@@ -151,4 +151,22 @@ PipelineIr extract_ir(const FlyMonDataPlane& dp,
                       const control::Controller* ctl,
                       std::uint64_t packets_per_epoch);
 
+/// Walk every installed CMU entry in pipeline order: group-major, CMU-major,
+/// priority (installation) order within a CMU.  This enumeration is the
+/// single source of truth for "what is deployed" — the IR builder lowers
+/// analyzer nodes from it and exec::PlanCompiler lowers compiled entries
+/// from it, so the static analyses and the compiled hot path can never
+/// disagree about the entry set or its evaluation order.  `Dp` may be const
+/// (analyzers) or mutable (the compiler resolves counter handles).
+template <typename Dp, typename Fn>
+void for_each_installed_entry(Dp& dp, Fn&& fn) {
+  for (unsigned g = 0; g < dp.num_groups(); ++g) {
+    auto& grp = dp.group(g);
+    for (unsigned c = 0; c < grp.num_cmus(); ++c) {
+      auto& cmu = grp.cmu(c);
+      for (const CmuTaskEntry& e : cmu.entries()) fn(g, c, cmu, e);
+    }
+  }
+}
+
 }  // namespace flymon::ir

@@ -4,9 +4,11 @@
 // analyzer headers.
 #include "verify/planner.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/flymon_dataplane.hpp"
+#include "exec/exec_plan.hpp"
 #include "telemetry/telemetry.hpp"
 #include "verify/verifier.hpp"
 
@@ -130,6 +132,29 @@ PlanOpResult apply_op(control::Controller& shadow, const control::PlanOp& op,
 
 }  // namespace
 
+std::string format_plan_diff(const std::vector<std::string>& before,
+                             const std::vector<std::string>& after) {
+  std::vector<std::string> b = before, a = after;
+  std::sort(b.begin(), b.end());
+  std::sort(a.begin(), a.end());
+  std::vector<std::string> removed, added;
+  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                      std::back_inserter(removed));
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(added));
+  std::string out = "plan diff: " + std::to_string(before.size()) +
+                    " compiled entries -> " + std::to_string(after.size()) +
+                    " (+" + std::to_string(added.size()) + " / -" +
+                    std::to_string(removed.size()) + ")\n";
+  if (removed.empty() && added.empty()) {
+    out += "  no compiled-entry changes\n";
+    return out;
+  }
+  for (const std::string& line : removed) out += "  - " + line + "\n";
+  for (const std::string& line : added) out += "  + " + line + "\n";
+  return out;
+}
+
 std::string PlanResult::format() const {
   std::string out = ok ? "plan OK" : "plan FAILED: " + error;
   out += "\n";
@@ -148,6 +173,13 @@ namespace flymon::control {
 
 verify::PlanResult Controller::plan(const std::vector<PlanOp>& ops) const {
   verify::PlanResult result;
+
+  // Compiled signature of the live world: what the published ExecPlan
+  // looks like before the batch.  (Compiling is read-only apart from
+  // counter-series registration, which recompile_and_publish already did
+  // for every live entry.)
+  result.compiled_before =
+      exec::PlanCompiler::compile(*dp_, entry_ownership(), 0)->signature();
 
   // A private shadow world: same pipeline geometry and allocation policy,
   // its own telemetry registry so shadow deploys never pollute the live
@@ -188,6 +220,25 @@ verify::PlanResult Controller::plan(const std::vector<PlanOp>& ops) const {
       ops_ok = false;
       break;
     }
+  }
+
+  // Compiled signature of the post-batch shadow world, with shadow task
+  // ids translated back to live ids so the diff is phrased in terms the
+  // operator staged.  Tasks minted by this batch have no live id; tag them.
+  {
+    std::map<std::uint32_t, std::uint32_t> shadow_to_live;
+    for (const auto& [live, sh] : result.id_map) shadow_to_live[sh] = live;
+    std::vector<exec::EntryOwnership> owners = shadow.entry_ownership();
+    for (exec::EntryOwnership& o : owners) {
+      const auto it = shadow_to_live.find(o.task_id);
+      if (it != shadow_to_live.end()) {
+        o.task_id = it->second;
+      } else {
+        o.name += " (new)";
+      }
+    }
+    result.compiled_after =
+        exec::PlanCompiler::compile(shadow_dp, owners, 0)->signature();
   }
 
   // Full semantic verification of the post-batch shadow world.

@@ -38,7 +38,20 @@ struct PlanResult {
   /// batch (replayed and not removed/split).
   std::map<std::uint32_t, std::uint32_t> id_map;
 
+  /// Compiled-entry signature lines (exec::ExecPlan::signature) of the
+  /// live world before the batch and of the post-batch shadow world,
+  /// shadow ids translated back to live ids where a mapping exists (tasks
+  /// minted by the batch are tagged "(new)").  Render with
+  /// format_plan_diff().
+  std::vector<std::string> compiled_before;
+  std::vector<std::string> compiled_after;
+
   std::string format() const;
 };
+
+/// Unified added/removed view of two compiled-entry signature sets: what
+/// the reconfiguration batch would change in the published ExecPlan.
+std::string format_plan_diff(const std::vector<std::string>& before,
+                             const std::vector<std::string>& after);
 
 }  // namespace flymon::verify

@@ -13,6 +13,12 @@
 //                                 diagnostic fires — the expected outcome)
 //   flymon_verify --dataflow      verify through the dry-run planner
 //                                 (Controller::plan with an empty batch)
+//   flymon_verify --plan-diff F   stage the 'plan' sub-commands from file F
+//                                 (one per line, without the 'plan ' prefix,
+//                                 e.g. "add name=x ..." / "remove 3") against
+//                                 the scenario deployment and print which
+//                                 compiled ExecPlan entries the batch would
+//                                 add/remove — without touching the pipeline
 //   flymon_verify --paranoid      additionally gate every deploy on the
 //                                 verifier while the scenario runs
 //   flymon_verify --json PATH     also write the machine-readable report
@@ -106,6 +112,7 @@ int main(int argc, char** argv) {
   std::string selftest_prefix;
   std::string mutate_name;
   std::string scenario_path;
+  std::string plan_diff_path;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -122,12 +129,14 @@ int main(int argc, char** argv) {
       dataflow = true;
     } else if (arg == "--scenario" && i + 1 < argc) {
       scenario_path = argv[++i];
+    } else if (arg == "--plan-diff" && i + 1 < argc) {
+      plan_diff_path = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: flymon_verify [--scenario <file>] [--paranoid] "
-                   "[--dataflow] [--selftest[=prefix]] [--mutate <name>] "
-                   "[--json <path>]\n";
+                   "[--dataflow] [--plan-diff <opsfile>] [--selftest[=prefix]] "
+                   "[--mutate <name>] [--json <path>]\n";
       return 0;
     } else {
       std::cerr << "error: unknown argument '" << arg << "' (--help)\n";
@@ -165,6 +174,39 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << response << '\n';
+  }
+
+  if (!plan_diff_path.empty()) {
+    // Stage the ops file as a 'plan' batch and print the compiled-entry
+    // diff a commit would cause.  Dry-run only: the live pipeline keeps
+    // running the scenario deployment.
+    bool ok = false;
+    const std::vector<std::string> ops = load_scenario(plan_diff_path, ok);
+    if (!ok) {
+      std::cerr << "error: cannot read ops file '" << plan_diff_path << "'\n";
+      return 1;
+    }
+    for (const std::string& line : ops) {
+      const auto hash = line.find('#');
+      std::istringstream trimmed(
+          hash == std::string::npos ? line : line.substr(0, hash));
+      std::string first;
+      if (!(trimmed >> first)) continue;  // blank / comment-only line
+      const std::string response =
+          shell.execute("plan " + line.substr(0, hash));
+      if (response.rfind("error:", 0) == 0) {
+        std::cerr << "staging failed at '" << line << "': " << response << '\n';
+        return 1;
+      }
+    }
+    const std::string diff = shell.execute("plan diff");
+    std::cout << diff << '\n';
+    if (!write_json(json_path, "{\"plan_diff\":\"" +
+                                   flymon::telemetry::json_escape(diff) +
+                                   "\"}\n")) {
+      return 1;
+    }
+    return diff.find("note: plan FAILED") == std::string::npos ? 0 : 1;
   }
 
   flymon::verify::VerifyReport report;
