@@ -101,6 +101,12 @@ struct JsonRow {
   std::string name;
   std::vector<std::pair<std::string, double>> fields;
   void add(const std::string& key, double value) { fields.emplace_back(key, value); }
+  const double* get(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
 };
 
 class JsonReport {
@@ -110,6 +116,14 @@ class JsonReport {
   JsonRow& row(const std::string& name) {
     rows_.push_back(JsonRow{name, {}});
     return rows_.back();
+  }
+
+  /// First row with `name`, nullptr if absent.  Invalidated by row().
+  JsonRow* find(const std::string& name) {
+    for (JsonRow& r : rows_) {
+      if (r.name == name) return &r;
+    }
+    return nullptr;
   }
 
   std::string to_string() const {

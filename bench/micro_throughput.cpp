@@ -5,8 +5,11 @@
 // benchmark (ns/op and items/s) for regression tracking.
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "bench/bench_util.hpp"
 #include "control/controller.hpp"
+#include "exec/worker_pool.hpp"
 #include "dataplane/hash_unit.hpp"
 #include "dataplane/tcam.hpp"
 #include "packet/trace_gen.hpp"
@@ -150,6 +153,36 @@ void BM_FullPipelineBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipelineBatched);
 
+// Sharded execution over the same deployment: the batch fans out across
+// N executors (N-1 spawned threads + the submitting thread), each writing
+// a private register shard; the merge runs once, outside the timed loop,
+// because it is an epoch/query-boundary cost amortised over the whole
+// window.  ->UseRealTime() because the submitting thread sleeps while the
+// workers run — wall clock is the honest throughput measure.
+void BM_FullPipelineSharded(benchmark::State& state) {
+  FlyMonDataPlane dp(9);
+  control::Controller ctl(dp);
+  deploy_mixed_workload(ctl);
+  dp.enable_parallel(static_cast<unsigned>(state.range(0)));
+  const auto trace = small_trace();
+  for (auto _ : state) {
+    dp.process_batch_parallel(trace);  // whole trace per iteration
+  }
+  dp.merge_shards();
+  const auto stats = dp.parallel_stats();
+  state.counters["fallback_batches"] =
+      static_cast<double>(stats.fallback_batches);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_FullPipelineSharded)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
 void BM_UnivMonUpdate(benchmark::State& state) {
   auto um = sketch::UnivMon::with_memory(512 * 1024);
   const auto trace = small_trace();
@@ -196,6 +229,34 @@ int main(int argc, char** argv) {
   CapturingReporter reporter(json_path.empty() ? nullptr : &report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (!json_path.empty()) {
+    // Execution-config row plus derived scaling metrics, so regression
+    // tooling reads speedups directly instead of recomputing them.
+    bench::JsonRow& cfg = report.row("config");
+    cfg.add("chunk_size", static_cast<double>(flymon::exec::kDefaultBatchChunk));
+    cfg.add("hardware_threads",
+            static_cast<double>(std::thread::hardware_concurrency()));
+    const bench::JsonRow* batched = report.find("BM_FullPipelineBatched");
+    const bench::JsonRow* sharded1 =
+        report.find("BM_FullPipelineSharded/threads:1/real_time");
+    const double* base_ips =
+        batched != nullptr ? batched->get("items_per_second") : nullptr;
+    const double* one_ips =
+        sharded1 != nullptr ? sharded1->get("items_per_second") : nullptr;
+    for (const int threads : {1, 2, 4, 8}) {
+      bench::JsonRow* row = report.find("BM_FullPipelineSharded/threads:" +
+                                        std::to_string(threads) + "/real_time");
+      if (row == nullptr) continue;
+      const double* ips = row->get("items_per_second");
+      if (ips == nullptr) continue;
+      if (base_ips != nullptr && *base_ips > 0) {
+        row->add("speedup_vs_batched", *ips / *base_ips);
+      }
+      if (one_ips != nullptr && *one_ips > 0) {
+        row->add("scaling_efficiency", (*ips / *one_ips) / threads);
+      }
+    }
+  }
   if (!json_path.empty() && !report.write(json_path)) {
     std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
     return 1;

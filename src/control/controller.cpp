@@ -203,6 +203,11 @@ void Controller::recompile_and_publish() {
 }
 
 DeployResult Controller::add_task(const TaskSpec& spec) {
+  // Fold outstanding shard deltas before the deployment mutates register
+  // layout: the end-of-mutation publish fence also merges, but by then
+  // this mutation may already have cleared/reused the very cells the
+  // deltas target (merge-after-clear would resurrect pre-mutation state).
+  dp_->merge_shards();
   if (paranoid_) {
     // Pre-flight: dry-run the add against a shadow world before touching
     // the live pipeline.  The post-commit gate in deploy() still runs —
@@ -671,6 +676,9 @@ DeployResult Controller::deploy_impl(const TaskSpec& spec, std::uint32_t public_
 bool Controller::remove_task(std::uint32_t id) {
   auto it = tasks_.find(id);
   if (it == tasks_.end()) return false;
+  // Merge before undo_deployment clears the task's partitions — see
+  // add_task for why merge-after-clear would be wrong.
+  dp_->merge_shards();
   undo_deployment(it->second);
   tasks_.erase(it);
   removals_counter_->inc();
@@ -684,6 +692,9 @@ bool Controller::remove_task(std::uint32_t id) {
 DeployResult Controller::resize_task(std::uint32_t id, std::uint32_t new_buckets) {
   auto it = tasks_.find(id);
   if (it == tasks_.end()) return {false, "unknown task", 0, {}};
+  // Merge before the replacement/reclaim dance rearranges partitions —
+  // see add_task for why merge-after-clear would be wrong.
+  dp_->merge_shards();
   TaskSpec spec = it->second.spec;
   spec.memory_buckets = new_buckets;
   // Deploy the replacement first (traffic is diverted once it is live),
@@ -779,6 +790,11 @@ std::uint32_t Controller::free_buckets(unsigned group, unsigned cmu) const {
 // ---------- readout ----------
 
 const DeployedTask& Controller::require(std::uint32_t id) const {
+  // Every by-id access can precede a register readout (or clear): fold
+  // outstanding shard deltas first so queries always see exactly what a
+  // sequential run would have produced.  Cheap when no pool is enabled or
+  // no shard is dirty.
+  dp_->merge_shards();
   const auto it = tasks_.find(id);
   if (it == tasks_.end()) throw std::out_of_range("Controller: unknown task id");
   return it->second;

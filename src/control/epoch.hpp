@@ -52,7 +52,12 @@ class EpochRunner {
           origin + (static_cast<std::uint64_t>(epoch) + 1) * epoch_ns_;
       std::size_t end = begin;
       while (end < trace.size() && trace[end].ts_ns < window_end) ++end;
-      dp_->process_batch(trace.subspan(begin, end - begin));
+      // Fans out across the worker pool when one is enabled (falls back to
+      // the sequential batched path otherwise); the epoch boundary is a
+      // merge point, so the readout sees exactly the registers a
+      // sequential run would have produced.
+      dp_->process_batch_parallel(trace.subspan(begin, end - begin));
+      dp_->merge_shards();
       record_epoch(end - begin);
       readout(epoch, trace.subspan(begin, end - begin));
       dp_->clear_registers();

@@ -1,8 +1,10 @@
 #include "core/flymon_dataplane.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "exec/exec_plan.hpp"
+#include "exec/worker_pool.hpp"
 
 namespace flymon {
 
@@ -26,9 +28,15 @@ void FlyMonDataPlane::bind_telemetry(telemetry::Registry& registry) {
 
 std::uint64_t FlyMonDataPlane::republish_plan(
     std::span<const exec::EntryOwnership> owners) {
+  std::lock_guard<std::mutex> publish(publish_mu_);
+  // Fence the pool across compile+publish: block submissions and fold
+  // outstanding shard deltas under the OLD plan, so no shard ever holds
+  // deltas produced under a plan that is no longer the merge target.
+  std::optional<exec::WorkerPool::Fence> fence;
+  if (pool_ != nullptr) fence.emplace(*pool_);
   auto plan = exec::PlanCompiler::compile(*this, owners, ++next_generation_);
   const std::uint64_t generation = plan->generation();
-  plan_.store(std::move(plan));
+  plan_.store_if_newer(std::move(plan));
   return generation;
 }
 
@@ -40,6 +48,10 @@ std::uint64_t FlyMonDataPlane::republish_plan() {
 }
 
 void FlyMonDataPlane::unpublish_plan() noexcept {
+  std::lock_guard<std::mutex> publish(publish_mu_);
+  // Merge under the plan the deltas belong to before it goes away.
+  std::optional<exec::WorkerPool::Fence> fence;
+  if (pool_ != nullptr) fence.emplace(*pool_);
   plan_.store(nullptr);
 }
 
@@ -65,10 +77,11 @@ void FlyMonDataPlane::run_plan(const exec::ExecPlan& plan,
                                std::span<const Packet> pkts) {
   if (pkts.empty()) return;
   // Bounded chunks keep the scratch (hash lanes, chain channels) hot in
-  // cache for arbitrarily long traces.
-  constexpr std::size_t kChunk = 256;
-  for (std::size_t off = 0; off < pkts.size(); off += kChunk) {
-    plan.run_batch(pkts.subspan(off, std::min(kChunk, pkts.size() - off)),
+  // cache for arbitrarily long traces.  Same knob as the sharded pool's
+  // work-queue chunk, so the two paths process equal-sized units of work.
+  const std::size_t chunk = std::max<std::size_t>(1, batch_opts_.chunk_size);
+  for (std::size_t off = 0; off < pkts.size(); off += chunk) {
+    plan.run_batch(pkts.subspan(off, std::min(chunk, pkts.size() - off)),
                    *scratch_);
   }
   packets_.fetch_add(pkts.size(), std::memory_order_relaxed);
@@ -107,9 +120,44 @@ std::uint64_t FlyMonDataPlane::process_batch(std::span<const Packet> pkts) {
 }
 
 void FlyMonDataPlane::clear_registers() {
+  if (pool_ != nullptr) pool_->discard_shards();
   for (CmuGroup& g : groups_) {
     for (unsigned i = 0; i < g.num_cmus(); ++i) g.cmu(i).reg().clear();
   }
+}
+
+void FlyMonDataPlane::enable_parallel(unsigned num_workers) {
+  disable_parallel();
+  pool_ = std::make_unique<exec::WorkerPool>(*this, num_workers);
+}
+
+void FlyMonDataPlane::disable_parallel() {
+  if (pool_ == nullptr) return;
+  pool_->quiesce_and_merge();
+  pool_.reset();
+}
+
+unsigned FlyMonDataPlane::parallel_workers() const noexcept {
+  return pool_ != nullptr ? pool_->num_workers() : 0;
+}
+
+std::uint64_t FlyMonDataPlane::process_batch_parallel(
+    std::span<const Packet> pkts) {
+  if (pool_ == nullptr) return process_batch(pkts);
+  return pool_->process(pkts);
+}
+
+void FlyMonDataPlane::merge_shards() {
+  if (pool_ != nullptr) pool_->quiesce_and_merge();
+}
+
+exec::ParallelStats FlyMonDataPlane::parallel_stats() const {
+  return pool_ != nullptr ? pool_->stats() : exec::ParallelStats{};
+}
+
+void FlyMonDataPlane::note_parallel_batch(std::size_t packets) noexcept {
+  packets_.fetch_add(packets, std::memory_order_relaxed);
+  packets_counter_->inc(packets);
 }
 
 void collect_dataplane_telemetry(const FlyMonDataPlane& dp,
@@ -133,6 +181,13 @@ void collect_dataplane_telemetry(const FlyMonDataPlane& dp,
     }
   }
   registry.gauge("flymon_dataplane_groups").set(dp.num_groups());
+}
+
+void collect_dataplane_telemetry(FlyMonDataPlane& dp,
+                                 telemetry::Registry& registry) {
+  dp.merge_shards();
+  collect_dataplane_telemetry(static_cast<const FlyMonDataPlane&>(dp),
+                              registry);
 }
 
 }  // namespace flymon

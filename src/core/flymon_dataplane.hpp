@@ -16,17 +16,18 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "core/cmu_group.hpp"
+#include "exec/exec_plan.hpp"
 #include "exec/plan_cell.hpp"
 #include "telemetry/trace_ring.hpp"
 
 namespace flymon::exec {
-class ExecPlan;
-struct BatchScratch;
-struct EntryOwnership;
+class WorkerPool;
+struct ParallelStats;
 }  // namespace flymon::exec
 
 namespace flymon {
@@ -52,15 +53,66 @@ class FlyMonDataPlane {
   /// Returns the plan generation the batch executed under (0 = interpreted).
   std::uint64_t process_batch(std::span<const Packet> pkts);
 
-  /// Process a whole trace through the batched path.
-  void process_all(std::span<const Packet> trace) { process_batch(trace); }
+  /// Process a whole trace through the batched path.  Returns what
+  /// process_batch returns: the plan generation the trace executed under
+  /// (0 = interpreted).
+  std::uint64_t process_all(std::span<const Packet> trace) {
+    return process_batch(trace);
+  }
 
   std::uint64_t packets_processed() const noexcept {
     return packets_.load(std::memory_order_relaxed);
   }
 
-  /// Clear all registers (start of a measurement epoch).
+  /// Clear all registers (start of a measurement epoch); un-merged shard
+  /// deltas are discarded with them.
   void clear_registers();
+
+  // ---- multi-core sharded execution ----
+
+  /// Spin up a persistent pool of `num_workers` executors (the submitting
+  /// thread participates as the last one, so 1 spawns no threads).  Each
+  /// executor owns a private replica of every CMU register bank; batches
+  /// submitted via process_batch_parallel fan out across them and fold
+  /// back into the live registers at merge points.  Replaces any existing
+  /// pool (merging its shards first).
+  void enable_parallel(unsigned num_workers);
+
+  /// Merge outstanding shard deltas and tear the pool down.
+  void disable_parallel();
+
+  /// Executors in the active pool (0 = no pool).
+  unsigned parallel_workers() const noexcept;
+
+  /// Parallel entry point: fan the batch across the worker pool.  Falls
+  /// back to process_batch when no pool is enabled; the pool itself falls
+  /// back (sequentially, exact) when no plan is published, the plan is not
+  /// shard-mergeable, or a tracer is attached.  Like process_batch this is
+  /// a single-submitter API: one thread feeds packets.
+  std::uint64_t process_batch_parallel(std::span<const Packet> pkts);
+
+  /// Fold every dirty shard into the live registers under the current
+  /// plan (no-op without a pool).  Read-side paths — controller readouts,
+  /// telemetry collection, epoch boundaries — call this before trusting
+  /// register contents.
+  void merge_shards();
+
+  /// Pool observability snapshot (zeroes without a pool).
+  exec::ParallelStats parallel_stats() const;
+
+  /// Execution tunables shared by the sequential batched path and the
+  /// sharded pool (one chunk-size knob for both).
+  void set_batch_options(const exec::BatchOptions& opts) noexcept {
+    batch_opts_ = opts;
+  }
+  const exec::BatchOptions& batch_options() const noexcept {
+    return batch_opts_;
+  }
+
+  /// Pool bookkeeping hook: account a parallel batch on the pipeline
+  /// totals (per-group/per-CMU counters travel through the shard counter
+  /// blocks instead).
+  void note_parallel_batch(std::size_t packets) noexcept;
 
   // ---- compiled-plan publication (RCU-style snapshot swap) ----
 
@@ -106,17 +158,27 @@ class FlyMonDataPlane {
   std::atomic<std::uint64_t> packets_{0};
   // The RCU cell: packet path acquire-loads, control plane release-stores.
   exec::PlanCell plan_;
-  std::uint64_t next_generation_ = 0;  ///< control-thread only
+  std::mutex publish_mu_;  ///< serialises compile+publish and pool fencing
+  std::uint64_t next_generation_ = 0;  ///< guarded by publish_mu_
   std::unique_ptr<exec::BatchScratch> scratch_;  ///< processing-thread only
+  exec::BatchOptions batch_opts_;
   telemetry::Registry* registry_ = nullptr;
   telemetry::Counter* packets_counter_ = nullptr;
   telemetry::PacketTracer* tracer_ = nullptr;
+  // Declared last so the pool (and its threads) dies before the registers
+  // and counters the shards reference.
+  std::unique_ptr<exec::WorkerPool> pool_;
 };
 
 /// Set point-in-time dataplane gauges (per-CMU register occupancy, installed
 /// rules, configured hash units) in `registry`.  Cheap enough to call from a
 /// shell command; not meant for the packet path.
 void collect_dataplane_telemetry(const FlyMonDataPlane& dp,
+                                 telemetry::Registry& registry);
+
+/// Same, but first folds outstanding shard deltas into the live counters
+/// so the gauges and exported counter values include parallel batches.
+void collect_dataplane_telemetry(FlyMonDataPlane& dp,
                                  telemetry::Registry& registry);
 
 }  // namespace flymon

@@ -3,8 +3,22 @@
 #include <algorithm>
 
 #include "common/hash.hpp"
+#include "exec/plan_cell.hpp"
 
 namespace flymon::exec {
+
+bool PlanCell::store_if_newer(std::shared_ptr<const ExecPlan> next) noexcept {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (plan_ == nullptr || next == nullptr ||
+        next->generation() > plan_->generation()) {
+      plan_.swap(next);  // `next` now carries the displaced snapshot
+    } else {
+      return false;  // stale publish: keep the newer snapshot
+    }
+  }
+  return true;
+}
 
 namespace {
 
@@ -26,10 +40,21 @@ inline std::uint32_t resolve(const CompiledParam& p, const Packet& pkt,
 
 }  // namespace
 
-void ExecPlan::run_cmu(const CompiledCmu& cmu, const Packet& pkt,
-                       const CandidateKey& key, const std::uint32_t* lanes,
-                       std::uint32_t* chains, std::uint64_t& updates,
-                       std::uint64_t& sampled_out, std::uint64_t& prep_aborts,
+const char* to_string(MergeKind k) noexcept {
+  switch (k) {
+    case MergeKind::kSum: return "sum";
+    case MergeKind::kMax: return "max";
+    case MergeKind::kOr: return "or";
+    case MergeKind::kXor: return "xor";
+  }
+  return "?";
+}
+
+void ExecPlan::run_cmu(const CompiledCmu& cmu, dataplane::RegisterArray& reg,
+                       const Packet& pkt, const CandidateKey& key,
+                       const std::uint32_t* lanes, std::uint32_t* chains,
+                       std::uint64_t& updates, std::uint64_t& sampled_out,
+                       std::uint64_t& prep_aborts,
                        std::array<std::uint64_t, 5>& op_counts) const {
   for (std::uint32_t i = cmu.entry_begin; i < cmu.entry_end; ++i) {
     const CompiledEntry& e = entries_[i];
@@ -94,7 +119,7 @@ void ExecPlan::run_cmu(const CompiledCmu& cmu, const Packet& pkt,
     // Operation: inlined SALU semantics (same arithmetic as Salu::execute,
     // on the shared register, without touching any mutable SALU state).
     const std::uint32_t mask = e.value_mask;
-    const std::uint32_t cur = cmu.reg->load_relaxed(addr);
+    const std::uint32_t cur = reg.load_relaxed(addr);
     std::uint32_t result = 0;
     switch (e.op) {
       case dataplane::StatefulOp::kNop:
@@ -105,25 +130,25 @@ void ExecPlan::run_cmu(const CompiledCmu& cmu, const Packet& pkt,
           const std::uint64_t sum = std::uint64_t{cur} + p1;
           const std::uint32_t next =
               sum > mask ? mask : static_cast<std::uint32_t>(sum);
-          cmu.reg->store_relaxed(addr, next & mask);
+          reg.store_relaxed(addr, next & mask);
           result = next;
         }
         break;
       case dataplane::StatefulOp::kMax:
         if (cur < (p1 & mask)) {
-          cmu.reg->store_relaxed(addr, p1 & mask);
+          reg.store_relaxed(addr, p1 & mask);
           result = p1 & mask;
         }
         break;
       case dataplane::StatefulOp::kAndOr: {
         const std::uint32_t next = (p2 == 0) ? (cur & p1) : (cur | p1);
-        cmu.reg->store_relaxed(addr, next & mask);
+        reg.store_relaxed(addr, next & mask);
         result = next;
         break;
       }
       case dataplane::StatefulOp::kXor: {
         const std::uint32_t next = cur ^ (p1 & mask);
-        cmu.reg->store_relaxed(addr, next & mask);
+        reg.store_relaxed(addr, next & mask);
         result = next;
         break;
       }
@@ -143,6 +168,16 @@ void ExecPlan::run_cmu(const CompiledCmu& cmu, const Packet& pkt,
 }
 
 void ExecPlan::run_batch(std::span<const Packet> pkts, BatchScratch& s) const {
+  run_batch_impl(pkts, s, nullptr);
+}
+
+void ExecPlan::run_batch_sharded(std::span<const Packet> pkts, BatchScratch& s,
+                                 const ShardBinding& binding) const {
+  run_batch_impl(pkts, s, &binding);
+}
+
+void ExecPlan::run_batch_impl(std::span<const Packet> pkts, BatchScratch& s,
+                              const ShardBinding* b) const {
   const std::size_t n = pkts.size();
   if (n == 0) return;
   const std::size_t num_slots = slots_.size();
@@ -164,21 +199,41 @@ void ExecPlan::run_batch(std::span<const Packet> pkts, BatchScratch& s) const {
   // Attribute stages, group-major.  Within a CMU packets run in trace
   // order, so final register state is byte-identical to per-packet
   // processing; chain channels are per-packet, so reordering across CMUs
-  // of different packets cannot be observed.
-  for (const CompiledGroup& g : groups_) {
-    if (g.packets != nullptr) g.packets->inc(n);
-    if (g.hashes != nullptr && g.configured_units != 0) {
-      g.hashes->inc(static_cast<std::uint64_t>(n) * g.configured_units);
+  // of different packets cannot be observed.  Counter totals aggregate per
+  // batch and flush once — into the shared atomics on the live path, into
+  // the shard's private block (slot layout: see counter_slots()) when a
+  // binding is given.
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    const CompiledGroup& g = groups_[gi];
+    const std::uint64_t hashes =
+        static_cast<std::uint64_t>(n) * g.configured_units;
+    if (b != nullptr) {
+      b->counters[gi * 2] += n;
+      b->counters[gi * 2 + 1] += hashes;
+    } else {
+      if (g.packets != nullptr) g.packets->inc(n);
+      if (g.hashes != nullptr && hashes != 0) g.hashes->inc(hashes);
     }
     for (std::uint32_t c = g.cmu_begin; c < g.cmu_end; ++c) {
       const CompiledCmu& cmu = cmus_[c];
       if (cmu.entry_begin == cmu.entry_end) continue;
+      dataplane::RegisterArray& reg = b != nullptr ? *b->regs[c] : *cmu.reg;
       std::uint64_t updates = 0, sampled_out = 0, prep_aborts = 0;
       std::array<std::uint64_t, 5> op_counts{};
       for (std::size_t p = 0; p < n; ++p) {
-        run_cmu(cmu, pkts[p], s.keys[p], &s.lanes[p * num_slots],
+        run_cmu(cmu, reg, pkts[p], s.keys[p], &s.lanes[p * num_slots],
                 &s.chains[p * num_chains], updates, sampled_out, prep_aborts,
                 op_counts);
+      }
+      if (b != nullptr) {
+        std::uint64_t* slot = &b->counters[groups_.size() * 2 + c * 8];
+        slot[0] += updates;
+        slot[1] += sampled_out;
+        slot[2] += prep_aborts;
+        for (std::size_t op = 0; op < op_counts.size(); ++op) {
+          slot[3 + op] += op_counts[op];
+        }
+        continue;
       }
       // Flush the batch-aggregated counters (Counter::inc self-gates on
       // telemetry::enabled()).
@@ -192,6 +247,28 @@ void ExecPlan::run_batch(std::span<const Packet> pkts, BatchScratch& s) const {
           cmu.op_counters[op]->inc(op_counts[op]);
         }
       }
+    }
+  }
+}
+
+void ExecPlan::flush_counter_block(std::span<std::uint64_t> block) const {
+  const auto flush = [&](std::size_t slot, telemetry::Counter* c) {
+    if (block[slot] != 0) {
+      if (c != nullptr) c->inc(block[slot]);
+      block[slot] = 0;
+    }
+  };
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    flush(gi * 2, groups_[gi].packets);
+    flush(gi * 2 + 1, groups_[gi].hashes);
+  }
+  for (std::size_t c = 0; c < cmus_.size(); ++c) {
+    const std::size_t base = groups_.size() * 2 + c * 8;
+    flush(base, cmus_[c].updates);
+    flush(base + 1, cmus_[c].sampled_out);
+    flush(base + 2, cmus_[c].prep_aborts);
+    for (std::size_t op = 0; op < 5; ++op) {
+      flush(base + 3 + op, cmus_[c].op_counters[op]);
     }
   }
 }

@@ -147,6 +147,49 @@ struct BatchScratch {
   std::vector<std::uint32_t> chains;  ///< packets x num_chain_channels
 };
 
+/// Packets per scratch refill on the sequential path and per work-queue
+/// chunk on the sharded path.  One tunable for both so a scaling comparison
+/// always compares equal-sized units of work.
+inline constexpr std::size_t kDefaultBatchChunk = 256;
+
+/// Execution tunables shared by the sequential batched path and the
+/// sharded worker pool.
+struct BatchOptions {
+  std::size_t chunk_size = kDefaultBatchChunk;
+};
+
+/// How one compiled entry's register partition folds across per-worker
+/// shards.  Only operations from FlyMon's reduced SALU set appear here;
+/// each is commutative and associative over the partition's cells, which
+/// is what makes the shard merge byte-exact (DESIGN.md §11).
+enum class MergeKind : std::uint8_t {
+  kSum,  ///< Cond-ADD with an unreachable condition: saturating sum
+  kMax,  ///< MAX: maximum
+  kOr,   ///< AND-OR pinned to OR mode: bitwise or
+  kXor,  ///< XOR (Odd Sketch toggle): bitwise xor
+};
+
+const char* to_string(MergeKind k) noexcept;
+
+/// One mergeable register window: the owning entry's partition inside one
+/// CompiledCmu, plus the reduction that reconciles shard replicas with the
+/// live register.
+struct MergeRegion {
+  std::uint32_t cmu = 0;   ///< flat CompiledCmu index
+  std::uint32_t base = 0;
+  std::uint32_t size = 0;
+  MergeKind kind = MergeKind::kSum;
+  std::uint32_t value_mask = 0xFFFF'FFFFu;
+};
+
+/// Where a sharded execution writes instead of the live plan targets: a
+/// private register replica per flat CMU index and a flat block of counter
+/// deltas (ExecPlan::counter_slots() wide) in place of the shared atomics.
+struct ShardBinding {
+  std::span<dataplane::RegisterArray* const> regs;
+  std::span<std::uint64_t> counters;
+};
+
 class ExecPlan {
  public:
   /// Monotonic publish generation (0 is reserved for "no plan /
@@ -174,14 +217,59 @@ class ExecPlan {
   /// aggregated per batch and flushed once.
   void run_batch(std::span<const Packet> pkts, BatchScratch& scratch) const;
 
+  /// Sharded execution: same walk as run_batch but every register access
+  /// goes to `binding.regs[flat_cmu]` and every counter total accumulates
+  /// into `binding.counters` instead of the shared atomics.  Only valid
+  /// when shard_mergeable().
+  void run_batch_sharded(std::span<const Packet> pkts, BatchScratch& scratch,
+                         const ShardBinding& binding) const;
+
+  // ---- shard merge metadata (computed at compile time) ----
+
+  std::size_t num_groups() const noexcept { return groups_.size(); }
+  std::size_t num_cmus() const noexcept { return cmus_.size(); }
+
+  /// True when every entry's operation is an exact shard reduction (no
+  /// register-derived chain outputs, Cond-ADD unconditional up to
+  /// saturation, AND-OR pinned to OR mode).  The worker pool falls back to
+  /// sequential execution otherwise.
+  bool shard_mergeable() const noexcept { return merge_blockers_.empty(); }
+  /// Human-readable reasons the plan cannot be shard-merged (empty when
+  /// mergeable); each line names the offending entry.
+  const std::vector<std::string>& merge_blockers() const noexcept {
+    return merge_blockers_;
+  }
+  /// The mergeable register windows, one per state-writing entry.
+  std::span<const MergeRegion> merge_regions() const noexcept {
+    return merge_regions_;
+  }
+  /// Live register behind one flat CMU index (merge target).
+  dataplane::RegisterArray* live_register(std::uint32_t cmu) const {
+    return cmus_[cmu].reg;
+  }
+
+  // ---- per-worker counter blocks ----
+
+  /// Width of a shard counter block: 2 slots per group (packets, hashes)
+  /// then 8 per CMU (updates, sampled_out, prep_aborts, 5 op kinds).
+  std::size_t counter_slots() const noexcept {
+    return groups_.size() * 2 + cmus_.size() * 8;
+  }
+  /// Add a shard's accumulated counter deltas onto the live telemetry
+  /// counters this plan was compiled against, zeroing the block.
+  void flush_counter_block(std::span<std::uint64_t> block) const;
+
  private:
   friend class PlanCompiler;
 
-  void run_cmu(const CompiledCmu& cmu, const Packet& pkt, const CandidateKey& key,
+  void run_cmu(const CompiledCmu& cmu, dataplane::RegisterArray& reg,
+               const Packet& pkt, const CandidateKey& key,
                const std::uint32_t* lanes, std::uint32_t* chains,
                std::uint64_t& updates, std::uint64_t& sampled_out,
                std::uint64_t& prep_aborts,
                std::array<std::uint64_t, 5>& op_counts) const;
+  void run_batch_impl(std::span<const Packet> pkts, BatchScratch& scratch,
+                      const ShardBinding* binding) const;
 
   std::uint64_t generation_ = 0;
   std::vector<HashSlot> slots_;       ///< slot 0 = constant-zero lane
@@ -191,6 +279,8 @@ class ExecPlan {
   std::size_t chain_count_ = 1;       ///< dense channels incl. the zero cell
   std::vector<EntryOwnership> owners_;
   std::vector<std::string> signature_;
+  std::vector<MergeRegion> merge_regions_;
+  std::vector<std::string> merge_blockers_;
 };
 
 /// Compiles a (data plane, ownership) snapshot into an ExecPlan.  Resolves

@@ -41,6 +41,13 @@ class PlanCell {
     // `next` now holds the old snapshot; it dies here, outside the lock.
   }
 
+  /// Publish `next` only if its generation is strictly newer than the
+  /// current snapshot's (an empty cell always accepts).  Defense in depth
+  /// for concurrent publishers that race compile-then-store: the published
+  /// generation can never move backwards.  Returns whether `next` was
+  /// installed.  Defined in exec_plan.cpp (needs ExecPlan::generation()).
+  bool store_if_newer(std::shared_ptr<const ExecPlan> next) noexcept;
+
  private:
   mutable std::mutex mu_;
   std::shared_ptr<const ExecPlan> plan_;

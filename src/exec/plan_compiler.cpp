@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <iomanip>
 #include <map>
 #include <sstream>
@@ -246,6 +247,84 @@ std::shared_ptr<const ExecPlan> PlanCompiler::compile(
         // Resolve counter series at publish time, never on the packet path.
         cc.op_counters[static_cast<std::size_t>(e.op)] = cmu.op_counter(e.op);
 
+        // Shard-merge analysis: this entry's writes fold exactly across
+        // per-worker register replicas only if its operation is a
+        // commutative/associative reduction whose behaviour never depends
+        // on the register's current value in a non-monoidal way
+        // (DESIGN.md §11).  Any violation poisons the whole plan — the
+        // worker pool then falls back to sequential execution.
+        const auto blocker = [&](const char* why) {
+          std::ostringstream os;
+          os << "g" << g << "/c" << c << " phys " << e.task_id << ": " << why;
+          plan->merge_blockers_.push_back(os.str());
+        };
+        if (ce.chain_out != kNoChain) {
+          blocker("publishes register-derived value on a chain channel");
+        }
+        MergeRegion region;
+        region.cmu = static_cast<std::uint32_t>(plan->cmus_.size());
+        region.base = ce.addr_base;
+        region.size = ce.addr_mask + 1u;
+        region.value_mask = ce.value_mask;
+        bool writes_state = true;
+        switch (e.op) {
+          case dataplane::StatefulOp::kNop:
+            writes_state = false;
+            break;
+          case dataplane::StatefulOp::kCondAdd: {
+            region.kind = MergeKind::kSum;
+            // Saturating sum is exact only when `cur < p2` can never gate
+            // below saturation, i.e. the *effective* p2 (after prep
+            // rewrites) is a constant >= the register's value mask.
+            bool unconditional = false;
+            switch (e.prep) {
+              case PrepFn::kCouponOneHot:
+              case PrepFn::kBitSelectOneHot:
+                unconditional = 1u >= ce.value_mask;  // prep forces p2 = 1
+                break;
+              case PrepFn::kSubtractGated:
+                unconditional = false;  // prep forces p2 = 0: register-gated
+                break;
+              default:
+                unconditional = ce.p2.kind == CompiledParam::Kind::kConst &&
+                                ce.p2.value >= ce.value_mask;
+                break;
+            }
+            if (!unconditional) {
+              blocker("Cond-ADD condition can gate on the register value");
+            }
+            break;
+          }
+          case dataplane::StatefulOp::kMax:
+            region.kind = MergeKind::kMax;
+            break;
+          case dataplane::StatefulOp::kAndOr: {
+            region.kind = MergeKind::kOr;
+            // OR folds from the shard identity 0; AND would need an
+            // all-ones identity, so the mode must be pinned to OR.
+            bool or_pinned = false;
+            switch (e.prep) {
+              case PrepFn::kCouponOneHot:
+              case PrepFn::kBitSelectOneHot:
+                or_pinned = true;  // prep forces p2 = 1
+                break;
+              case PrepFn::kSubtractGated:
+                or_pinned = false;  // prep forces p2 = 0 (AND mode)
+                break;
+              default:
+                or_pinned = ce.p2.kind == CompiledParam::Kind::kConst &&
+                            ce.p2.value != 0;
+                break;
+            }
+            if (!or_pinned) blocker("AND-OR not pinned to OR mode");
+            break;
+          }
+          case dataplane::StatefulOp::kXor:
+            region.kind = MergeKind::kXor;
+            break;
+        }
+        if (writes_state) plan->merge_regions_.push_back(region);
+
         const EntryOwnership* owner = nullptr;
         for (const EntryOwnership& o : plan->owners_) {
           if (o.group == g && o.cmu == c && o.phys_id == e.task_id) {
@@ -266,6 +345,40 @@ std::shared_ptr<const ExecPlan> PlanCompiler::compile(
   }
 
   plan->chain_count_ = chain_index.size() + 1;
+
+  // Collapse duplicate merge windows (several filter entries of one task
+  // share a partition) and reject overlapping windows that disagree on the
+  // fold — mixed reductions over one cell are not a single monoid, so the
+  // merge would not be exact.
+  auto& regions = plan->merge_regions_;
+  std::sort(regions.begin(), regions.end(),
+            [](const MergeRegion& a, const MergeRegion& b) {
+              if (a.cmu != b.cmu) return a.cmu < b.cmu;
+              if (a.base != b.base) return a.base < b.base;
+              if (a.size != b.size) return a.size < b.size;
+              return a.kind < b.kind;
+            });
+  regions.erase(std::unique(regions.begin(), regions.end(),
+                            [](const MergeRegion& a, const MergeRegion& b) {
+                              return a.cmu == b.cmu && a.base == b.base &&
+                                     a.size == b.size && a.kind == b.kind;
+                            }),
+                regions.end());
+  for (std::size_t i = 0; i + 1 < regions.size(); ++i) {
+    for (std::size_t j = i + 1; j < regions.size(); ++j) {
+      const MergeRegion& a = regions[i];
+      const MergeRegion& b = regions[j];
+      if (a.cmu != b.cmu || a.base + a.size <= b.base) break;
+      if (a.kind != b.kind) {
+        std::ostringstream os;
+        os << "cmu " << a.cmu << " [" << b.base
+           << "]: overlapping merge windows disagree (" << to_string(a.kind)
+           << " vs " << to_string(b.kind) << ")";
+        plan->merge_blockers_.push_back(os.str());
+      }
+    }
+  }
+
   return plan;
 }
 

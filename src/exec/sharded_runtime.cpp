@@ -1,0 +1,71 @@
+#include "exec/sharded_runtime.hpp"
+
+#include <algorithm>
+
+#include "core/flymon_dataplane.hpp"
+
+namespace flymon::exec {
+
+RegisterShard::RegisterShard(const FlyMonDataPlane& dp) {
+  std::size_t total_cmus = 0;
+  for (unsigned g = 0; g < dp.num_groups(); ++g) {
+    total_cmus += dp.group(g).num_cmus();
+  }
+  regs_.reserve(total_cmus);
+  reg_ptrs_.reserve(total_cmus);
+  for (unsigned g = 0; g < dp.num_groups(); ++g) {
+    const CmuGroup& grp = dp.group(g);
+    for (unsigned c = 0; c < grp.num_cmus(); ++c) {
+      const dataplane::RegisterArray& live = grp.cmu(c).reg();
+      regs_.emplace_back(live.size(), live.bit_width());
+    }
+  }
+  for (dataplane::RegisterArray& r : regs_) reg_ptrs_.push_back(&r);
+  counters_.assign(dp.num_groups() * 2 + total_cmus * 8, 0);
+}
+
+void RegisterShard::merge_into(const ExecPlan& plan) {
+  if (!dirty_) return;
+  for (const MergeRegion& region : plan.merge_regions()) {
+    dataplane::RegisterArray& shard = regs_[region.cmu];
+    dataplane::RegisterArray* live = plan.live_register(region.cmu);
+    const std::uint32_t end = region.base + region.size;
+    for (std::uint32_t addr = region.base; addr < end; ++addr) {
+      const std::uint32_t v = shard.load_relaxed(addr);
+      if (v == 0) continue;  // 0 is the identity for every MergeKind
+      const std::uint32_t cur = live->load_relaxed(addr);
+      std::uint32_t next = cur;
+      switch (region.kind) {
+        case MergeKind::kSum: {
+          const std::uint64_t sum = std::uint64_t{cur} + v;
+          next = sum > region.value_mask
+                     ? region.value_mask
+                     : static_cast<std::uint32_t>(sum);
+          break;
+        }
+        case MergeKind::kMax:
+          next = std::max(cur, v);
+          break;
+        case MergeKind::kOr:
+          next = cur | v;
+          break;
+        case MergeKind::kXor:
+          next = (cur ^ v) & region.value_mask;
+          break;
+      }
+      if (next != cur) live->store_relaxed(addr, next);
+      shard.store_relaxed(addr, 0);  // overlapping regions fold once
+    }
+  }
+  plan.flush_counter_block(counters_);
+  dirty_ = false;
+}
+
+void RegisterShard::discard() {
+  if (!dirty_) return;
+  for (dataplane::RegisterArray& r : regs_) r.clear();
+  std::fill(counters_.begin(), counters_.end(), 0);
+  dirty_ = false;
+}
+
+}  // namespace flymon::exec

@@ -1,0 +1,66 @@
+// Per-worker register shards for the multi-core execution engine.
+//
+// Every worker in the exec::WorkerPool owns a RegisterShard: a private,
+// zero-initialised replica of every CMU register bank plus a flat block of
+// telemetry counter deltas.  The hot path writes only its own shard —
+// never a shared atomic — and shards fold back into the live registers at
+// epoch/query boundaries via merge_into(), which applies the op-aware
+// reduction the PlanCompiler proved exact (Cond-ADD→saturating sum,
+// MAX→max, OR-mode AND-OR→or, XOR→xor; see DESIGN.md §11).
+//
+// Invariant maintained by the pool's fencing: a dirty shard only ever
+// holds deltas produced under the currently published ExecPlan, so
+// merge_into() is always called with the plan those deltas belong to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataplane/salu.hpp"
+#include "exec/exec_plan.hpp"
+
+namespace flymon {
+class FlyMonDataPlane;
+}  // namespace flymon
+
+namespace flymon::exec {
+
+class RegisterShard {
+ public:
+  /// Build zeroed replicas of every CMU register bank in `dp`, in the same
+  /// flat CMU order the PlanCompiler emits (group-major), plus a counter
+  /// block sized for that geometry (2 slots per group, 8 per CMU).
+  explicit RegisterShard(const FlyMonDataPlane& dp);
+
+  RegisterShard(RegisterShard&&) noexcept = default;
+  RegisterShard(const RegisterShard&) = delete;
+  RegisterShard& operator=(const RegisterShard&) = delete;
+
+  /// Binding handed to ExecPlan::run_batch_sharded.
+  ShardBinding binding() noexcept {
+    return ShardBinding{reg_ptrs_, counters_};
+  }
+
+  /// Whether any batch has written this shard since the last merge/discard.
+  bool dirty() const noexcept { return dirty_; }
+  void mark_dirty() noexcept { dirty_ = true; }
+
+  /// Fold this shard into the live registers behind `plan` using the
+  /// plan's merge regions, flush the counter deltas onto the plan's live
+  /// telemetry counters, and zero the shard.  Caller must guarantee the
+  /// shard's deltas were produced under `plan` (pool fencing does).
+  void merge_into(const ExecPlan& plan);
+
+  /// Drop all shard state without merging (epoch clear).
+  void discard();
+
+  std::size_t num_registers() const noexcept { return regs_.size(); }
+
+ private:
+  std::vector<dataplane::RegisterArray> regs_;   ///< flat CMU order
+  std::vector<dataplane::RegisterArray*> reg_ptrs_;
+  std::vector<std::uint64_t> counters_;
+  bool dirty_ = false;
+};
+
+}  // namespace flymon::exec

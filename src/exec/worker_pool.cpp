@@ -1,0 +1,148 @@
+#include "exec/worker_pool.hpp"
+
+#include <algorithm>
+
+#include "core/flymon_dataplane.hpp"
+
+namespace flymon::exec {
+
+WorkerPool::WorkerPool(FlyMonDataPlane& dp, unsigned num_workers)
+    : dp_(&dp), num_executors_(std::max(1u, num_workers)) {
+  workers_.reserve(num_executors_);
+  for (unsigned i = 0; i < num_executors_; ++i) {
+    workers_.push_back(std::make_unique<Worker>(dp));
+  }
+  threads_.reserve(num_executors_ - 1);
+  for (unsigned i = 0; i + 1 < num_executors_; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(job_mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::uint64_t WorkerPool::process(std::span<const Packet> pkts) {
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  if (pkts.empty()) return dp_->plan_generation();
+
+  // One snapshot per job: every chunk of this batch executes the same
+  // plan, and a concurrent publisher fences on submit_mu_, so shard deltas
+  // never straddle a reconfiguration.
+  std::shared_ptr<const ExecPlan> plan = dp_->current_plan();
+  if (plan == nullptr || !plan->shard_mergeable() || dp_->tracer() != nullptr) {
+    fallback_batches_.fetch_add(1, std::memory_order_relaxed);
+    return dp_->process_batch(pkts);
+  }
+
+  auto job = std::make_shared<Job>();
+  job->plan = plan;
+  job->pkts = pkts;
+  job->chunk = std::max<std::size_t>(1, dp_->batch_options().chunk_size);
+  job->num_chunks = (pkts.size() + job->chunk - 1) / job->chunk;
+  job->remaining.store(job->num_chunks, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lk(job_mu_);
+    job_ = job;
+    ++job_seq_;
+  }
+  job_cv_.notify_all();
+
+  // The caller is the last executor, on its own shard.
+  run_chunks(*job, num_executors_ - 1);
+
+  {
+    std::unique_lock<std::mutex> lk(done_mu_);
+    done_cv_.wait(lk, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lk(job_mu_);
+    job_.reset();  // stragglers keep the Job alive via their own ref
+  }
+
+  parallel_batches_.fetch_add(1, std::memory_order_relaxed);
+  chunks_.fetch_add(job->num_chunks, std::memory_order_relaxed);
+  dp_->note_parallel_batch(pkts.size());
+  return plan->generation();
+}
+
+void WorkerPool::worker_main(std::size_t shard_idx) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(job_mu_);
+      job_cv_.wait(lk, [&] { return stop_ || job_seq_ != seen; });
+      if (stop_) return;
+      seen = job_seq_;
+      job = job_;
+    }
+    if (job != nullptr) run_chunks(*job, shard_idx);
+  }
+}
+
+void WorkerPool::run_chunks(Job& job, std::size_t shard_idx) {
+  Worker& w = *workers_[shard_idx];
+  const ShardBinding binding = w.shard.binding();
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.num_chunks) return;  // nothing claimed: no completion debt
+    const std::size_t begin = i * job.chunk;
+    const std::size_t len = std::min(job.chunk, job.pkts.size() - begin);
+    job.plan->run_batch_sharded(job.pkts.subspan(begin, len), w.scratch,
+                                binding);
+    w.shard.mark_dirty();
+    // The release fetch_sub orders this executor's shard writes before the
+    // submitter's acquire read of remaining == 0.
+    if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(done_mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::quiesce_and_merge() {
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  merge_locked();
+}
+
+void WorkerPool::discard_shards() {
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  for (auto& w : workers_) w->shard.discard();
+}
+
+void WorkerPool::merge_locked() {
+  std::shared_ptr<const ExecPlan> plan = dp_->current_plan();
+  bool any = false;
+  for (auto& w : workers_) {
+    if (!w->shard.dirty()) continue;
+    if (plan == nullptr) {
+      // Cannot happen under the fencing invariant (unpublish merges
+      // first); degrade to discarding rather than folding blind.
+      w->shard.discard();
+      continue;
+    }
+    w->shard.merge_into(*plan);
+    any = true;
+  }
+  if (any) merges_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ParallelStats WorkerPool::stats() const noexcept {
+  ParallelStats s;
+  s.parallel_batches = parallel_batches_.load(std::memory_order_relaxed);
+  s.fallback_batches = fallback_batches_.load(std::memory_order_relaxed);
+  s.chunks = chunks_.load(std::memory_order_relaxed);
+  s.merges = merges_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace flymon::exec

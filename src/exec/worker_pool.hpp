@@ -1,0 +1,129 @@
+// Persistent worker pool for multi-core packet processing.
+//
+// N executors = N-1 spawned threads plus the calling thread, each owning a
+// private RegisterShard and BatchScratch.  process() publishes one Job —
+// the acquired ExecPlan snapshot plus a packet span — and all executors
+// claim fixed-size chunks from it with a lock-free fetch_add cursor, so
+// load balances itself and no shared state is written on the hot path
+// except the claim/completion atomics.
+//
+// Reconfiguration safety: the plan is acquired ONCE per job (not per
+// chunk), and Fence serialises against process() while folding every dirty
+// shard into the live registers — FlyMonDataPlane holds a Fence across
+// compile+publish, so a shard never carries deltas across a plan change
+// (the invariant RegisterShard::merge_into relies on).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "exec/exec_plan.hpp"
+#include "exec/sharded_runtime.hpp"
+#include "packet/packet.hpp"
+
+namespace flymon {
+class FlyMonDataPlane;
+}  // namespace flymon
+
+namespace flymon::exec {
+
+/// Pool observability (all monotonic since enable_parallel).
+struct ParallelStats {
+  std::uint64_t parallel_batches = 0;  ///< batches executed across shards
+  std::uint64_t fallback_batches = 0;  ///< sequential fallbacks (no plan, unmergeable plan, or tracer attached)
+  std::uint64_t chunks = 0;            ///< work-queue chunks claimed
+  std::uint64_t merges = 0;            ///< quiesce/fence merges that folded a dirty shard
+};
+
+class WorkerPool {
+ public:
+  /// Spawns `num_workers - 1` threads (the caller is the last executor);
+  /// `num_workers` is clamped to at least 1.
+  WorkerPool(FlyMonDataPlane& dp, unsigned num_workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned num_workers() const noexcept { return num_executors_; }
+
+  /// Process a batch across all executors against the current plan
+  /// snapshot.  Falls back to the data plane's sequential path (recording
+  /// a fallback stat) when no plan is published, the plan is not
+  /// shard-mergeable, or a tracer is attached.  Returns the generation
+  /// the batch executed under (0 = interpreted fallback).
+  std::uint64_t process(std::span<const Packet> pkts);
+
+  /// Block new submissions, wait out the in-flight job, and fold every
+  /// dirty shard into the live registers under the current plan.
+  void quiesce_and_merge();
+
+  /// Drop all shard state without merging (epoch clear).
+  void discard_shards();
+
+  ParallelStats stats() const noexcept;
+
+  /// RAII reconfiguration fence: holds the submission lock and merges all
+  /// dirty shards under the (old) published plan, so the holder can
+  /// compile and publish a new plan with no deltas straddling the change.
+  class Fence {
+   public:
+    explicit Fence(WorkerPool& pool) : lock_(pool.submit_mu_) {
+      pool.merge_locked();
+    }
+
+   private:
+    std::unique_lock<std::mutex> lock_;
+  };
+
+ private:
+  friend class Fence;
+
+  struct Job {
+    std::shared_ptr<const ExecPlan> plan;
+    std::span<const Packet> pkts;
+    std::size_t chunk = kDefaultBatchChunk;
+    std::size_t num_chunks = 0;
+    std::atomic<std::size_t> next{0};       ///< chunk claim cursor
+    std::atomic<std::size_t> remaining{0};  ///< chunks not yet finished
+  };
+
+  struct Worker {
+    explicit Worker(const FlyMonDataPlane& dp) : shard(dp) {}
+    RegisterShard shard;
+    BatchScratch scratch;
+  };
+
+  void worker_main(std::size_t shard_idx);
+  void run_chunks(Job& job, std::size_t shard_idx);
+  void merge_locked();
+
+  FlyMonDataPlane* dp_;
+  unsigned num_executors_;
+  std::vector<std::unique_ptr<Worker>> workers_;  ///< one per executor
+  std::vector<std::thread> threads_;              ///< num_executors_ - 1
+
+  std::mutex submit_mu_;  ///< serialises process() / quiesce / Fence
+
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;
+  std::shared_ptr<Job> job_;   ///< current job (workers copy the ref)
+  std::uint64_t job_seq_ = 0;  ///< bumped per job so workers wake once each
+  bool stop_ = false;
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+
+  std::atomic<std::uint64_t> parallel_batches_{0};
+  std::atomic<std::uint64_t> fallback_batches_{0};
+  std::atomic<std::uint64_t> chunks_{0};
+  std::atomic<std::uint64_t> merges_{0};
+};
+
+}  // namespace flymon::exec

@@ -361,7 +361,9 @@ TEST(ExecPlanApi, ProcessAllRoutesThroughBatchedPath) {
   World w;
   ASSERT_NO_FATAL_FAILURE(deploy_cms(w.ctl));
   const std::vector<Packet> trace = make_trace(100, 1000, 11);
-  w.dp.process_all(trace);
+  // process_all forwards process_batch's return: the executing generation.
+  EXPECT_EQ(w.dp.process_all(trace), w.dp.plan_generation());
+  EXPECT_GT(w.dp.plan_generation(), 0u);
   EXPECT_EQ(w.dp.packets_processed(), trace.size());
   // Batched and per-packet runs agree (same world, doubled state).
   World w2;
@@ -420,6 +422,48 @@ TEST(ExecRcu, PlanSwapUnderConcurrentReconfigIsRaceFree) {
   // Deploy + kChurn * (add publish + remove publish) at minimum.
   EXPECT_GE(w.dp.plan_generation(), 1u + 2u * kChurn);
   EXPECT_EQ(w.dp.packets_processed(), batches * trace.size());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent publishers: republish_plan from several threads must keep the
+// published generation strictly monotone (publish_mu_ serialises compiles;
+// PlanCell::store_if_newer is the belt-and-braces ordering check) and land
+// on exactly initial + publishers * publishes.
+// ---------------------------------------------------------------------------
+
+TEST(ExecRcu, ConcurrentPublishersKeepGenerationsMonotone) {
+  World w;
+  ASSERT_NO_FATAL_FAILURE(deploy_cms(w.ctl, "base"));
+  const std::uint64_t start = w.dp.plan_generation();
+  ASSERT_GT(start, 0u);
+
+  constexpr unsigned kPublishers = 4;
+  constexpr unsigned kPublishes = 50;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> monotone{true};
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t gen = w.dp.plan_generation();
+      if (gen < last) {
+        monotone.store(false, std::memory_order_relaxed);
+        break;
+      }
+      last = gen;
+    }
+  });
+  std::vector<std::thread> publishers;
+  for (unsigned t = 0; t < kPublishers; ++t) {
+    publishers.emplace_back([&] {
+      for (unsigned i = 0; i < kPublishes; ++i) w.dp.republish_plan();
+    });
+  }
+  for (std::thread& t : publishers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_TRUE(monotone.load()) << "a reader observed a decreasing generation";
+  EXPECT_EQ(w.dp.plan_generation(), start + kPublishers * kPublishes);
 }
 
 // ---------------------------------------------------------------------------
