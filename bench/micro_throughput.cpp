@@ -15,6 +15,9 @@
 #include "packet/trace_gen.hpp"
 #include "sketch/count_min.hpp"
 #include "sketch/univmon.hpp"
+#include "telemetry/telemetry.hpp"
+#include "trace/span.hpp"
+#include "trace/stage_profiler.hpp"
 
 using namespace flymon;
 
@@ -219,6 +222,39 @@ class CapturingReporter : public benchmark::ConsoleReporter {
   bench::JsonReport* report_;
 };
 
+// Per-stage hot-path breakdown: re-run the mixed workload with the stage
+// profiler sampling every batch (both the batched and the sharded path so
+// claim/execute/merge appear too), then emit one stable key triple per
+// stage.  Keys are `<stage>_cycles`, `<stage>_items`,
+// `<stage>_cycles_per_item`; stages with no samples are emitted as zeros so
+// downstream tooling can rely on the full key set.
+void emit_stage_breakdown(bench::JsonReport& report) {
+  auto& prof = trace::StageProfiler::global();
+  const bool was_enabled = prof.enabled();
+  prof.set_enabled(true);
+  prof.set_sample_every(1);
+  prof.reset();
+  {
+    FlyMonDataPlane dp(9);
+    control::Controller ctl(dp);
+    deploy_mixed_workload(ctl);
+    const auto trace = small_trace();
+    for (int i = 0; i < 4; ++i) dp.process_batch(trace);
+    dp.enable_parallel(2);
+    for (int i = 0; i < 4; ++i) dp.process_batch_parallel(trace);
+    dp.merge_shards();
+  }
+  const auto stats = prof.snapshot();
+  prof.set_enabled(was_enabled);
+  bench::JsonRow& row = report.row("stages");
+  for (std::size_t s = 0; s < trace::kNumStages; ++s) {
+    const std::string stage = trace::to_string(static_cast<trace::Stage>(s));
+    row.add(stage + "_cycles", static_cast<double>(stats[s].cycles));
+    row.add(stage + "_items", static_cast<double>(stats[s].items));
+    row.add(stage + "_cycles_per_item", stats[s].cycles_per_item());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -236,6 +272,15 @@ int main(int argc, char** argv) {
     cfg.add("chunk_size", static_cast<double>(flymon::exec::kDefaultBatchChunk));
     cfg.add("hardware_threads",
             static_cast<double>(std::thread::hardware_concurrency()));
+    // Active observability switches as they were during the timed runs, so
+    // a regression artifact records whether tracing/profiling overhead was
+    // in play.
+    cfg.add("trace_enabled", trace::enabled() ? 1.0 : 0.0);
+    cfg.add("profiler_enabled",
+            trace::StageProfiler::global().enabled() ? 1.0 : 0.0);
+    cfg.add("profiler_sample_every",
+            static_cast<double>(trace::StageProfiler::global().sample_every()));
+    cfg.add("telemetry_enabled", telemetry::enabled() ? 1.0 : 0.0);
     const bench::JsonRow* batched = report.find("BM_FullPipelineBatched");
     const bench::JsonRow* sharded1 =
         report.find("BM_FullPipelineSharded/threads:1/real_time");
@@ -256,6 +301,7 @@ int main(int argc, char** argv) {
         row->add("scaling_efficiency", (*ips / *one_ips) / threads);
       }
     }
+    emit_stage_breakdown(report);
   }
   if (!json_path.empty() && !report.write(json_path)) {
     std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());

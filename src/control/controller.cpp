@@ -9,6 +9,8 @@
 #include "common/bits.hpp"
 #include "exec/exec_plan.hpp"
 #include "sketch/beaucoup.hpp"
+#include "trace/span.hpp"
+#include "trace/stage_profiler.hpp"
 #include "sketch/hyperloglog.hpp"
 #include "sketch/mrac.hpp"
 #include "sketch/odd_sketch.hpp"
@@ -203,6 +205,8 @@ void Controller::recompile_and_publish() {
 }
 
 DeployResult Controller::add_task(const TaskSpec& spec) {
+  trace::ReconfigScope reconfig;
+  trace::Span span("ctl.add_task", reconfig.tag());
   // Fold outstanding shard deltas before the deployment mutates register
   // layout: the end-of-mutation publish fence also merges, but by then
   // this mutation may already have cleared/reused the very cells the
@@ -214,6 +218,7 @@ DeployResult Controller::add_task(const TaskSpec& spec) {
     // the pre-flight proves intent, the post-commit gate proves the
     // commit — but a bad spec is now rejected with the live data plane
     // never modified.
+    trace::Span gate("ctl.plan_gate");
     last_verify_errors_ = run_plan_gate(spec);
     if (!last_verify_errors_.empty()) {
       deploy_failures_counter_->inc();
@@ -266,6 +271,7 @@ void Controller::gc_unreferenced_units() {
 }
 
 DeployResult Controller::deploy(const TaskSpec& spec, std::uint32_t public_id) {
+  trace::Span span("ctl.deploy", public_id);
   DeployedTask staged;
   DeployResult result;
   try {
@@ -285,7 +291,9 @@ DeployResult Controller::deploy(const TaskSpec& spec, std::uint32_t public_id) {
   if (!result.ok || !paranoid_) return result;
   // Paranoid gate: dry-run the static verifier over the committed state;
   // any error diagnostic rolls the deployment back.
+  trace::Span gate("ctl.verify_gate");
   last_verify_errors_ = run_verify_gate();
+  gate.close();
   if (last_verify_errors_.empty()) return result;
   auto it = tasks_.find(public_id);
   if (it != tasks_.end()) {
@@ -676,6 +684,8 @@ DeployResult Controller::deploy_impl(const TaskSpec& spec, std::uint32_t public_
 bool Controller::remove_task(std::uint32_t id) {
   auto it = tasks_.find(id);
   if (it == tasks_.end()) return false;
+  trace::ReconfigScope reconfig;
+  trace::Span span("ctl.remove_task", id);
   // Merge before undo_deployment clears the task's partitions — see
   // add_task for why merge-after-clear would be wrong.
   dp_->merge_shards();
@@ -684,7 +694,10 @@ bool Controller::remove_task(std::uint32_t id) {
   removals_counter_->inc();
   // Removal never rolls back, but paranoid mode still re-verifies so that
   // residual corruption surfaces through last_verify_errors().
-  if (paranoid_) last_verify_errors_ = run_verify_gate();
+  if (paranoid_) {
+    trace::Span gate("ctl.verify_gate");
+    last_verify_errors_ = run_verify_gate();
+  }
   recompile_and_publish();
   return true;
 }
@@ -692,6 +705,8 @@ bool Controller::remove_task(std::uint32_t id) {
 DeployResult Controller::resize_task(std::uint32_t id, std::uint32_t new_buckets) {
   auto it = tasks_.find(id);
   if (it == tasks_.end()) return {false, "unknown task", 0, {}};
+  trace::ReconfigScope reconfig;
+  trace::Span span("ctl.resize_task", id);
   // Merge before the replacement/reclaim dance rearranges partitions —
   // see add_task for why merge-after-clear would be wrong.
   dp_->merge_shards();
@@ -722,6 +737,8 @@ DeployResult Controller::resize_task(std::uint32_t id, std::uint32_t new_buckets
 std::pair<DeployResult, DeployResult> Controller::split_task(std::uint32_t id) {
   const auto it = tasks_.find(id);
   if (it == tasks_.end()) return {{false, "unknown task", 0, {}}, {}};
+  trace::ReconfigScope reconfig;
+  trace::Span span("ctl.split_task", id);
   const TaskSpec& spec = it->second.spec;
   const TaskFilter& f = spec.filter;
 
@@ -1108,6 +1125,11 @@ std::vector<TaskHealth> Controller::health() const {
 
 void Controller::collect_telemetry() const {
   collect_dataplane_telemetry(*dp_, *registry_);
+  // Surface tracing/profiling data through the same exporters: span
+  // durations recorded since the last collection plus the per-stage
+  // cycle breakdown.
+  trace::SpanCollector::global().flush_to_registry(*registry_);
+  trace::StageProfiler::global().flush_to_registry(*registry_);
   registry_->gauge("flymon_tasks_active").set(static_cast<double>(tasks_.size()));
   for (const TaskHealth& h : health()) {
     const std::string id = std::to_string(h.task_id);

@@ -12,6 +12,7 @@
 #include "core/flymon_dataplane.hpp"
 #include "packet/packet.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/span.hpp"
 
 namespace flymon::control {
 
@@ -56,11 +57,18 @@ class EpochRunner {
       // the sequential batched path otherwise); the epoch boundary is a
       // merge point, so the readout sees exactly the registers a
       // sequential run would have produced.
-      dp_->process_batch_parallel(trace.subspan(begin, end - begin));
-      dp_->merge_shards();
+      {
+        trace::Span process("epoch.process", end - begin);
+        dp_->process_batch_parallel(trace.subspan(begin, end - begin));
+        dp_->merge_shards();
+      }
       record_epoch(end - begin);
-      readout(epoch, trace.subspan(begin, end - begin));
+      {
+        trace::Span read("epoch.readout", epoch);
+        readout(epoch, trace.subspan(begin, end - begin));
+      }
       dp_->clear_registers();
+      trace::instant("epoch.boundary", epoch);
       begin = end;
       ++epoch;
     }

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "telemetry/export.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/span.hpp"
 #include "verify/mutations.hpp"
 #include "verify/planner.hpp"
 #include "verify/verifier.hpp"
@@ -186,6 +188,9 @@ std::string Shell::help() {
       "  trace on [1-in-N]      sample packet traces into a ring buffer\n"
       "  trace off | status     stop sampling / show tracer state\n"
       "  trace dump [path]      dump sampled PHV traces as JSON\n"
+      "  trace spans on|off     record control-path spans (reconfig timeline)\n"
+      "  trace spans dump [path] export spans as Chrome trace JSON (Perfetto)\n"
+      "  trace spans status|clear  span collector stats / reset rings\n"
       "  verify                 run every static analyzer over the deployment\n"
       "  verify list            list the registered analyzers\n"
       "  verify <analyzer>      run one analyzer (resources|tcam|memory|tasks|\n"
@@ -606,6 +611,9 @@ std::string Shell::cmd_telemetry(const std::vector<std::string>& args) {
 
 std::string Shell::cmd_trace(const std::vector<std::string>& args) {
   auto& dp = ctl_->dataplane();
+  if (!args.empty() && args[0] == "spans") {
+    return cmd_trace_spans({args.begin() + 1, args.end()});
+  }
   if (args.empty() || args[0] == "status") {
     std::ostringstream out;
     if (dp.tracer() != nullptr) {
@@ -648,7 +656,47 @@ std::string Shell::cmd_trace(const std::vector<std::string>& args) {
     }
     return text;
   }
-  return "error: usage: trace [on [1-in-N]|off|dump [path]|status]";
+  return "error: usage: trace [on [1-in-N]|off|dump [path]|status|spans ...]";
+}
+
+std::string Shell::cmd_trace_spans(const std::vector<std::string>& args) {
+  auto& collector = trace::SpanCollector::global();
+  if (args.empty() || args[0] == "status") {
+    const auto s = collector.stats();
+    std::ostringstream out;
+    out << "span tracing " << (trace::enabled() ? "on" : "off") << ": "
+        << s.emitted << " events across " << s.threads << " threads ("
+        << s.dropped << " dropped); " << trace::latest_reconfig()
+        << " reconfigurations tagged";
+    return out.str();
+  }
+  const std::string& sub = args[0];
+  if (sub == "on") {
+    trace::set_enabled(true);
+    return "span tracing on (control-path spans record into per-thread rings)";
+  }
+  if (sub == "off") {
+    trace::set_enabled(false);
+    return "span tracing off";
+  }
+  if (sub == "clear") {
+    collector.clear();
+    return "span rings cleared";
+  }
+  if (sub == "dump") {
+    const auto events = collector.collect();
+    const std::string text = trace::to_chrome_trace_json(events);
+    if (args.size() >= 2) {
+      if (!telemetry::write_file(args[1], text)) {
+        return "error: cannot write '" + args[1] + "'";
+      }
+      return "wrote " + std::to_string(events.size()) +
+             " span events to " + args[1] +
+             " (load in ui.perfetto.dev or chrome://tracing)";
+    }
+    return text;
+  }
+  return "error: usage: trace spans [on|off|dump [path]|clear|status]";
 }
 
 std::string Shell::cmd_verify(const std::vector<std::string>& args) {

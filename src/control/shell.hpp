@@ -49,6 +49,7 @@ class Shell {
   std::string cmd_rebalance();
   std::string cmd_telemetry(const std::vector<std::string>& args);
   std::string cmd_trace(const std::vector<std::string>& args);
+  std::string cmd_trace_spans(const std::vector<std::string>& args);
   std::string cmd_verify(const std::vector<std::string>& args);
   std::string cmd_plan(const std::vector<std::string>& args);
 

@@ -5,6 +5,7 @@
 
 #include "exec/exec_plan.hpp"
 #include "exec/worker_pool.hpp"
+#include "trace/span.hpp"
 
 namespace flymon {
 
@@ -21,6 +22,7 @@ void FlyMonDataPlane::bind_telemetry(telemetry::Registry& registry) {
   registry_ = &registry;
   packets_counter_ = &registry.counter("flymon_packets_total");
   for (CmuGroup& g : groups_) g.bind_telemetry(registry);
+  if (pool_ != nullptr) pool_->bind_telemetry(&registry);
   // A published plan caches counter handles: recompile it against the new
   // registry so compiled execution keeps feeding the bound counters.
   if (plan_.load() != nullptr) republish_plan();
@@ -28,6 +30,7 @@ void FlyMonDataPlane::bind_telemetry(telemetry::Registry& registry) {
 
 std::uint64_t FlyMonDataPlane::republish_plan(
     std::span<const exec::EntryOwnership> owners) {
+  trace::Span span("exec.publish");
   std::lock_guard<std::mutex> publish(publish_mu_);
   // Fence the pool across compile+publish: block submissions and fold
   // outstanding shard deltas under the OLD plan, so no shard ever holds
@@ -37,6 +40,8 @@ std::uint64_t FlyMonDataPlane::republish_plan(
   auto plan = exec::PlanCompiler::compile(*this, owners, ++next_generation_);
   const std::uint64_t generation = plan->generation();
   plan_.store_if_newer(std::move(plan));
+  span.set_arg(generation);
+  trace::instant("exec.plan_published", generation);
   return generation;
 }
 
@@ -48,6 +53,7 @@ std::uint64_t FlyMonDataPlane::republish_plan() {
 }
 
 void FlyMonDataPlane::unpublish_plan() noexcept {
+  trace::Span span("exec.unpublish");
   std::lock_guard<std::mutex> publish(publish_mu_);
   // Merge under the plan the deltas belong to before it goes away.
   std::optional<exec::WorkerPool::Fence> fence;
@@ -129,6 +135,7 @@ void FlyMonDataPlane::clear_registers() {
 void FlyMonDataPlane::enable_parallel(unsigned num_workers) {
   disable_parallel();
   pool_ = std::make_unique<exec::WorkerPool>(*this, num_workers);
+  if (registry_ != nullptr) pool_->bind_telemetry(registry_);
 }
 
 void FlyMonDataPlane::disable_parallel() {

@@ -4,6 +4,7 @@
 
 #include "common/hash.hpp"
 #include "exec/plan_cell.hpp"
+#include "trace/stage_profiler.hpp"
 
 namespace flymon::exec {
 
@@ -50,27 +51,60 @@ const char* to_string(MergeKind k) noexcept {
   return "?";
 }
 
+const char* to_string(MergeBlockerKind k) noexcept {
+  switch (k) {
+    case MergeBlockerKind::kChainOutput: return "chain_output";
+    case MergeBlockerKind::kGatedCondAdd: return "gated_cond_add";
+    case MergeBlockerKind::kAndMode: return "and_mode";
+    case MergeBlockerKind::kMixedWindow: return "mixed_window";
+  }
+  return "?";
+}
+
+template <bool kProfiled>
 void ExecPlan::run_cmu(const CompiledCmu& cmu, dataplane::RegisterArray& reg,
                        const Packet& pkt, const CandidateKey& key,
                        const std::uint32_t* lanes, std::uint32_t* chains,
                        std::uint64_t& updates, std::uint64_t& sampled_out,
                        std::uint64_t& prep_aborts,
-                       std::array<std::uint64_t, 5>& op_counts) const {
+                       std::array<std::uint64_t, 5>& op_counts,
+                       [[maybe_unused]] trace::BatchStageSample* prof) const {
+  // Stage lap timer: compiles to nothing in the <false> instantiation, so
+  // the un-sampled hot path is the exact pre-profiler code.
+  [[maybe_unused]] std::uint64_t lap_t = 0;
+  if constexpr (kProfiled) lap_t = trace::now_cycles();
+  const auto lap = [&]([[maybe_unused]] trace::Stage st,
+                       [[maybe_unused]] std::uint64_t items) {
+    if constexpr (kProfiled) {
+      const std::uint64_t now = trace::now_cycles();
+      prof->add(st, now - lap_t, items);
+      lap_t = now;
+    }
+  };
+
   for (std::uint32_t i = cmu.entry_begin; i < cmu.entry_end; ++i) {
     const CompiledEntry& e = entries_[i];
 
     // Initialization: filter match (first match wins) + sampling coin.
-    if (((pkt.ft.src_ip ^ e.filter_src_ip) & e.filter_src_mask) != 0) continue;
-    if (((pkt.ft.dst_ip ^ e.filter_dst_ip) & e.filter_dst_mask) != 0) continue;
+    if (((pkt.ft.src_ip ^ e.filter_src_ip) & e.filter_src_mask) != 0) {
+      lap(trace::Stage::kFilter, 1);
+      continue;
+    }
+    if (((pkt.ft.dst_ip ^ e.filter_dst_ip) & e.filter_dst_mask) != 0) {
+      lap(trace::Stage::kFilter, 1);
+      continue;
+    }
     if (e.sampled) {
       const std::uint64_t h = hash64(
           std::span<const std::uint8_t>(key.data(), key.size()), e.sample_seed);
       const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
       if (u >= e.sample_probability) {
         ++sampled_out;
+        lap(trace::Stage::kFilter, 1);
         continue;  // next matching task may run
       }
     }
+    lap(trace::Stage::kFilter, 1);
 
     // Preparation: pre-shifted address translation + parameter resolution.
     const std::uint32_t selected = lanes[e.key_slot_a] ^ lanes[e.key_slot_b];
@@ -89,6 +123,7 @@ void ExecPlan::run_cmu(const CompiledCmu& cmu, dataplane::RegisterArray& reg,
         const double u = static_cast<double>(p1) * 0x1.0p-32;
         if (u >= e.coupon_total) {  // no coupon drawn: no update
           ++prep_aborts;
+          lap(trace::Stage::kAddress, 1);
           return;
         }
         const auto idx =
@@ -115,6 +150,7 @@ void ExecPlan::run_cmu(const CompiledCmu& cmu, dataplane::RegisterArray& reg,
         p1 = chains[e.gate_chain] == 0 ? (1u << (p1 & 31u)) : 0u;
         break;
     }
+    lap(trace::Stage::kAddress, 1);
 
     // Operation: inlined SALU semantics (same arithmetic as Salu::execute,
     // on the shared register, without touching any mutable SALU state).
@@ -163,25 +199,40 @@ void ExecPlan::run_cmu(const CompiledCmu& cmu, dataplane::RegisterArray& reg,
     }
     ++updates;
     ++op_counts[static_cast<std::size_t>(e.op)];
+    lap(trace::Stage::kSalu, 1);
     return;  // at most one entry executes per CMU per packet
   }
 }
 
 void ExecPlan::run_batch(std::span<const Packet> pkts, BatchScratch& s) const {
-  run_batch_impl(pkts, s, nullptr);
+  if (trace::StageProfiler::global().sample_batch()) {
+    run_batch_impl<true>(pkts, s, nullptr);
+  } else {
+    run_batch_impl<false>(pkts, s, nullptr);
+  }
 }
 
 void ExecPlan::run_batch_sharded(std::span<const Packet> pkts, BatchScratch& s,
                                  const ShardBinding& binding) const {
-  run_batch_impl(pkts, s, &binding);
+  if (trace::StageProfiler::global().sample_batch()) {
+    run_batch_impl<true>(pkts, s, &binding);
+  } else {
+    run_batch_impl<false>(pkts, s, &binding);
+  }
 }
 
+template <bool kProfiled>
 void ExecPlan::run_batch_impl(std::span<const Packet> pkts, BatchScratch& s,
                               const ShardBinding* b) const {
   const std::size_t n = pkts.size();
   if (n == 0) return;
   const std::size_t num_slots = slots_.size();
   const std::size_t num_chains = chain_count_;
+
+  trace::BatchStageSample sample;
+  trace::BatchStageSample* const prof = kProfiled ? &sample : nullptr;
+  [[maybe_unused]] std::uint64_t t0 = 0;
+  if constexpr (kProfiled) t0 = trace::now_cycles();
 
   // Compression stage, batched: serialize and hash every packet up front.
   // Lane 0 stays zero (the "unconfigured unit / no selector" lane).
@@ -194,6 +245,9 @@ void ExecPlan::run_batch_impl(std::span<const Packet> pkts, BatchScratch& s,
     for (std::size_t sl = 1; sl < num_slots; ++sl) {
       lane[sl] = slots_[sl].unit.compute(s.keys[p]);
     }
+  }
+  if constexpr (kProfiled) {
+    sample.add(trace::Stage::kCompression, trace::now_cycles() - t0, n);
   }
 
   // Attribute stages, group-major.  Within a CMU packets run in trace
@@ -221,9 +275,9 @@ void ExecPlan::run_batch_impl(std::span<const Packet> pkts, BatchScratch& s,
       std::uint64_t updates = 0, sampled_out = 0, prep_aborts = 0;
       std::array<std::uint64_t, 5> op_counts{};
       for (std::size_t p = 0; p < n; ++p) {
-        run_cmu(cmu, reg, pkts[p], s.keys[p], &s.lanes[p * num_slots],
-                &s.chains[p * num_chains], updates, sampled_out, prep_aborts,
-                op_counts);
+        run_cmu<kProfiled>(cmu, reg, pkts[p], s.keys[p],
+                           &s.lanes[p * num_slots], &s.chains[p * num_chains],
+                           updates, sampled_out, prep_aborts, op_counts, prof);
       }
       if (b != nullptr) {
         std::uint64_t* slot = &b->counters[groups_.size() * 2 + c * 8];
@@ -248,6 +302,10 @@ void ExecPlan::run_batch_impl(std::span<const Packet> pkts, BatchScratch& s,
         }
       }
     }
+  }
+
+  if constexpr (kProfiled) {
+    trace::StageProfiler::global().record_batch(sample);
   }
 }
 

@@ -35,6 +35,10 @@ namespace flymon {
 class FlyMonDataPlane;
 }  // namespace flymon
 
+namespace flymon::trace {
+struct BatchStageSample;
+}  // namespace flymon::trace
+
 namespace flymon::exec {
 
 /// Which controller task owns one installed (group, cmu, phys_id) entry.
@@ -171,6 +175,18 @@ enum class MergeKind : std::uint8_t {
 
 const char* to_string(MergeKind k) noexcept;
 
+/// Why a plan cannot be shard-merged, as a closed set so the worker pool
+/// can count fallbacks per cause (the human-readable merge_blockers()
+/// strings carry the per-entry detail).
+enum class MergeBlockerKind : std::uint8_t {
+  kChainOutput,   ///< publishes register-derived value on a chain channel
+  kGatedCondAdd,  ///< Cond-ADD condition can gate on the register value
+  kAndMode,       ///< AND-OR not pinned to OR mode
+  kMixedWindow,   ///< overlapping merge windows disagree on the fold
+};
+
+const char* to_string(MergeBlockerKind k) noexcept;
+
 /// One mergeable register window: the owning entry's partition inside one
 /// CompiledCmu, plus the reduction that reconciles shard replicas with the
 /// live register.
@@ -239,6 +255,11 @@ class ExecPlan {
   const std::vector<std::string>& merge_blockers() const noexcept {
     return merge_blockers_;
   }
+  /// The same blockers as a closed kind set (parallel to merge_blockers()),
+  /// so fallbacks can be counted per cause.
+  const std::vector<MergeBlockerKind>& merge_blocker_kinds() const noexcept {
+    return merge_blocker_kinds_;
+  }
   /// The mergeable register windows, one per state-writing entry.
   std::span<const MergeRegion> merge_regions() const noexcept {
     return merge_regions_;
@@ -262,12 +283,22 @@ class ExecPlan {
  private:
   friend class PlanCompiler;
 
+  // Both walk functions are templated on kProfiled: the <false>
+  // instantiation contains no timing code at all (it is the plain hot
+  // path), the <true> instantiation laps trace::now_cycles() around the
+  // compression / filter / address / SALU stages into `prof`.  run_batch /
+  // run_batch_sharded pick the instantiation per batch via
+  // trace::StageProfiler::sample_batch() — one relaxed load when profiling
+  // is off.
+  template <bool kProfiled>
   void run_cmu(const CompiledCmu& cmu, dataplane::RegisterArray& reg,
                const Packet& pkt, const CandidateKey& key,
                const std::uint32_t* lanes, std::uint32_t* chains,
                std::uint64_t& updates, std::uint64_t& sampled_out,
                std::uint64_t& prep_aborts,
-               std::array<std::uint64_t, 5>& op_counts) const;
+               std::array<std::uint64_t, 5>& op_counts,
+               trace::BatchStageSample* prof) const;
+  template <bool kProfiled>
   void run_batch_impl(std::span<const Packet> pkts, BatchScratch& scratch,
                       const ShardBinding* binding) const;
 
@@ -281,6 +312,7 @@ class ExecPlan {
   std::vector<std::string> signature_;
   std::vector<MergeRegion> merge_regions_;
   std::vector<std::string> merge_blockers_;
+  std::vector<MergeBlockerKind> merge_blocker_kinds_;
 };
 
 /// Compiles a (data plane, ownership) snapshot into an ExecPlan.  Resolves

@@ -8,6 +8,7 @@
 #include "core/flymon_dataplane.hpp"
 #include "exec/exec_plan.hpp"
 #include "ir/ir.hpp"
+#include "trace/span.hpp"
 
 namespace flymon::exec {
 
@@ -98,6 +99,7 @@ std::string describe_entry(unsigned g, unsigned c, const CmuTaskEntry& e,
 std::shared_ptr<const ExecPlan> PlanCompiler::compile(
     FlyMonDataPlane& dp, std::span<const EntryOwnership> owners,
     std::uint64_t generation) {
+  trace::Span span("exec.compile", generation);
   auto plan = std::make_shared<ExecPlan>();
   plan->generation_ = generation;
   plan->owners_.assign(owners.begin(), owners.end());
@@ -253,13 +255,15 @@ std::shared_ptr<const ExecPlan> PlanCompiler::compile(
         // on the register's current value in a non-monoidal way
         // (DESIGN.md §11).  Any violation poisons the whole plan — the
         // worker pool then falls back to sequential execution.
-        const auto blocker = [&](const char* why) {
+        const auto blocker = [&](MergeBlockerKind kind, const char* why) {
           std::ostringstream os;
           os << "g" << g << "/c" << c << " phys " << e.task_id << ": " << why;
           plan->merge_blockers_.push_back(os.str());
+          plan->merge_blocker_kinds_.push_back(kind);
         };
         if (ce.chain_out != kNoChain) {
-          blocker("publishes register-derived value on a chain channel");
+          blocker(MergeBlockerKind::kChainOutput,
+                  "publishes register-derived value on a chain channel");
         }
         MergeRegion region;
         region.cmu = static_cast<std::uint32_t>(plan->cmus_.size());
@@ -291,7 +295,8 @@ std::shared_ptr<const ExecPlan> PlanCompiler::compile(
                 break;
             }
             if (!unconditional) {
-              blocker("Cond-ADD condition can gate on the register value");
+              blocker(MergeBlockerKind::kGatedCondAdd,
+                      "Cond-ADD condition can gate on the register value");
             }
             break;
           }
@@ -316,7 +321,10 @@ std::shared_ptr<const ExecPlan> PlanCompiler::compile(
                             ce.p2.value != 0;
                 break;
             }
-            if (!or_pinned) blocker("AND-OR not pinned to OR mode");
+            if (!or_pinned) {
+              blocker(MergeBlockerKind::kAndMode,
+                      "AND-OR not pinned to OR mode");
+            }
             break;
           }
           case dataplane::StatefulOp::kXor:
@@ -375,6 +383,7 @@ std::shared_ptr<const ExecPlan> PlanCompiler::compile(
            << "]: overlapping merge windows disagree (" << to_string(a.kind)
            << " vs " << to_string(b.kind) << ")";
         plan->merge_blockers_.push_back(os.str());
+        plan->merge_blocker_kinds_.push_back(MergeBlockerKind::kMixedWindow);
       }
     }
   }

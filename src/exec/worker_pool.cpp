@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/flymon_dataplane.hpp"
+#include "trace/span.hpp"
+#include "trace/stage_profiler.hpp"
 
 namespace flymon::exec {
 
@@ -37,6 +39,7 @@ std::uint64_t WorkerPool::process(std::span<const Packet> pkts) {
   std::shared_ptr<const ExecPlan> plan = dp_->current_plan();
   if (plan == nullptr || !plan->shard_mergeable() || dp_->tracer() != nullptr) {
     fallback_batches_.fetch_add(1, std::memory_order_relaxed);
+    count_fallback(plan.get(), dp_->tracer() != nullptr);
     return dp_->process_batch(pkts);
   }
 
@@ -92,13 +95,25 @@ void WorkerPool::worker_main(std::size_t shard_idx) {
 void WorkerPool::run_chunks(Job& job, std::size_t shard_idx) {
   Worker& w = *workers_[shard_idx];
   const ShardBinding binding = w.shard.binding();
+  trace::StageProfiler& prof = trace::StageProfiler::global();
+  const bool profiled = prof.enabled();
   for (;;) {
+    const std::uint64_t t0 = profiled ? trace::now_cycles() : 0;
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.num_chunks) return;  // nothing claimed: no completion debt
     const std::size_t begin = i * job.chunk;
     const std::size_t len = std::min(job.chunk, job.pkts.size() - begin);
-    job.plan->run_batch_sharded(job.pkts.subspan(begin, len), w.scratch,
-                                binding);
+    const std::uint64_t t1 = profiled ? trace::now_cycles() : 0;
+    {
+      trace::Span span("exec.chunk", job.plan->generation());
+      job.plan->run_batch_sharded(job.pkts.subspan(begin, len), w.scratch,
+                                  binding);
+    }
+    if (profiled) {
+      const std::uint64_t t2 = trace::now_cycles();
+      prof.record(trace::Stage::kClaim, t1 - t0, 1);
+      prof.record(trace::Stage::kExecute, t2 - t1, len);
+    }
     w.shard.mark_dirty();
     // The release fetch_sub orders this executor's shard writes before the
     // submitter's acquire read of remaining == 0.
@@ -120,8 +135,14 @@ void WorkerPool::discard_shards() {
 }
 
 void WorkerPool::merge_locked() {
+  trace::Span span("exec.merge_shards");
+  trace::StageProfiler& prof = trace::StageProfiler::global();
+  const bool profiled = prof.enabled();
+  const std::uint64_t t0 = trace::monotonic_now_ns();
+  const std::uint64_t c0 = profiled ? trace::now_cycles() : 0;
   std::shared_ptr<const ExecPlan> plan = dp_->current_plan();
   bool any = false;
+  std::uint64_t folded = 0;
   for (auto& w : workers_) {
     if (!w->shard.dirty()) continue;
     if (plan == nullptr) {
@@ -132,8 +153,81 @@ void WorkerPool::merge_locked() {
     }
     w->shard.merge_into(*plan);
     any = true;
+    ++folded;
   }
-  if (any) merges_.fetch_add(1, std::memory_order_relaxed);
+  if (any) {
+    merges_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t dt = trace::monotonic_now_ns() - t0;
+    if (shard_merge_us_ != nullptr) {
+      shard_merge_us_->observe(static_cast<double>(dt) / 1000.0);
+    }
+    if (profiled) {
+      prof.record(trace::Stage::kMerge, trace::now_cycles() - c0, folded);
+    }
+  }
+}
+
+WorkerPool::Fence::Fence(WorkerPool& pool)
+    : lock_(pool.submit_mu_, std::defer_lock) {
+  trace::Span span("exec.fence");
+  const std::uint64_t t0 = trace::monotonic_now_ns();
+  lock_.lock();
+  pool.note_fence_wait(trace::monotonic_now_ns() - t0);
+  pool.merge_locked();
+}
+
+void WorkerPool::note_fence_wait(std::uint64_t wait_ns) {
+  if (fence_wait_us_ != nullptr) {
+    fence_wait_us_->observe(static_cast<double>(wait_ns) / 1000.0);
+  }
+}
+
+void WorkerPool::count_fallback(const ExecPlan* plan, bool tracer) {
+  // Precedence mirrors the process() guard: a null plan is reported as
+  // no_plan even if a tracer is also attached.
+  if (plan == nullptr) {
+    fallback_no_plan_.fetch_add(1, std::memory_order_relaxed);
+    if (fallback_counters_[0] != nullptr) fallback_counters_[0]->inc();
+    return;
+  }
+  if (!plan->shard_mergeable()) {
+    fallback_unmergeable_.fetch_add(1, std::memory_order_relaxed);
+    if (fallback_counters_[1] != nullptr) fallback_counters_[1]->inc();
+    for (MergeBlockerKind k : plan->merge_blocker_kinds()) {
+      telemetry::Counter* c = blocker_counters_[static_cast<std::size_t>(k)];
+      if (c != nullptr) c->inc();
+    }
+    return;
+  }
+  if (tracer) {
+    fallback_tracer_.fetch_add(1, std::memory_order_relaxed);
+    if (fallback_counters_[2] != nullptr) fallback_counters_[2]->inc();
+  }
+}
+
+void WorkerPool::bind_telemetry(telemetry::Registry* registry) {
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  if (registry == nullptr) {
+    for (auto*& c : fallback_counters_) c = nullptr;
+    for (auto*& c : blocker_counters_) c = nullptr;
+    fence_wait_us_ = nullptr;
+    shard_merge_us_ = nullptr;
+    return;
+  }
+  static const char* kReasons[3] = {"no_plan", "unmergeable", "tracer"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    fallback_counters_[i] = &registry->counter("flymon_sharded_fallback_total",
+                                               {{"reason", kReasons[i]}});
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    blocker_counters_[i] = &registry->counter(
+        "flymon_sharded_merge_blocker_total",
+        {{"kind", to_string(static_cast<MergeBlockerKind>(i))}});
+  }
+  // 0.25us .. ~4s, same spacing as the span-duration histograms.
+  const auto bounds = telemetry::Histogram::exponential_bounds(0.25, 4.0, 17);
+  fence_wait_us_ = &registry->histogram("flymon_fence_wait_us", {}, bounds);
+  shard_merge_us_ = &registry->histogram("flymon_shard_merge_us", {}, bounds);
 }
 
 ParallelStats WorkerPool::stats() const noexcept {
@@ -142,6 +236,10 @@ ParallelStats WorkerPool::stats() const noexcept {
   s.fallback_batches = fallback_batches_.load(std::memory_order_relaxed);
   s.chunks = chunks_.load(std::memory_order_relaxed);
   s.merges = merges_.load(std::memory_order_relaxed);
+  s.fallback_no_plan = fallback_no_plan_.load(std::memory_order_relaxed);
+  s.fallback_unmergeable =
+      fallback_unmergeable_.load(std::memory_order_relaxed);
+  s.fallback_tracer = fallback_tracer_.load(std::memory_order_relaxed);
   return s;
 }
 

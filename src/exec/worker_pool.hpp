@@ -39,6 +39,11 @@ struct ParallelStats {
   std::uint64_t fallback_batches = 0;  ///< sequential fallbacks (no plan, unmergeable plan, or tracer attached)
   std::uint64_t chunks = 0;            ///< work-queue chunks claimed
   std::uint64_t merges = 0;            ///< quiesce/fence merges that folded a dirty shard
+  // Fallback causes (sum == fallback_batches): a silent sequential run is
+  // indistinguishable from a fast parallel one without these.
+  std::uint64_t fallback_no_plan = 0;      ///< no compiled plan published
+  std::uint64_t fallback_unmergeable = 0;  ///< plan has merge blockers
+  std::uint64_t fallback_tracer = 0;       ///< packet tracer attached
 };
 
 class WorkerPool {
@@ -69,14 +74,20 @@ class WorkerPool {
 
   ParallelStats stats() const noexcept;
 
+  /// Cache handles into `registry` (fallback-reason counters, fence-wait
+  /// and shard-merge histograms) so the pool reports without per-event
+  /// registry lookups.  Pass nullptr to detach.  Serialises on the
+  /// submission lock, so it is safe against in-flight process() calls.
+  void bind_telemetry(telemetry::Registry* registry);
+
   /// RAII reconfiguration fence: holds the submission lock and merges all
   /// dirty shards under the (old) published plan, so the holder can
   /// compile and publish a new plan with no deltas straddling the change.
+  /// Records the lock-wait time (how long the reconfiguration stalled on
+  /// in-flight traffic) and emits an "exec.fence" span.
   class Fence {
    public:
-    explicit Fence(WorkerPool& pool) : lock_(pool.submit_mu_) {
-      pool.merge_locked();
-    }
+    explicit Fence(WorkerPool& pool);
 
    private:
     std::unique_lock<std::mutex> lock_;
@@ -103,6 +114,8 @@ class WorkerPool {
   void worker_main(std::size_t shard_idx);
   void run_chunks(Job& job, std::size_t shard_idx);
   void merge_locked();
+  void note_fence_wait(std::uint64_t wait_ns);
+  void count_fallback(const ExecPlan* plan, bool tracer);
 
   FlyMonDataPlane* dp_;
   unsigned num_executors_;
@@ -124,6 +137,16 @@ class WorkerPool {
   std::atomic<std::uint64_t> fallback_batches_{0};
   std::atomic<std::uint64_t> chunks_{0};
   std::atomic<std::uint64_t> merges_{0};
+  std::atomic<std::uint64_t> fallback_no_plan_{0};
+  std::atomic<std::uint64_t> fallback_unmergeable_{0};
+  std::atomic<std::uint64_t> fallback_tracer_{0};
+
+  // Telemetry handles, cached under submit_mu_ (written only by
+  // bind_telemetry; read only by code already holding the lock).
+  telemetry::Counter* fallback_counters_[3] = {};  ///< no_plan, unmergeable, tracer
+  telemetry::Counter* blocker_counters_[4] = {};   ///< per MergeBlockerKind
+  telemetry::Histogram* fence_wait_us_ = nullptr;
+  telemetry::Histogram* shard_merge_us_ = nullptr;
 };
 
 }  // namespace flymon::exec

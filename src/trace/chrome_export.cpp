@@ -1,0 +1,118 @@
+#include "trace/chrome_export.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+#include "telemetry/export.hpp"
+
+namespace flymon::trace {
+
+namespace {
+
+constexpr int kThreadPid = 1;
+constexpr int kReconfigPid = 2;
+
+/// Microsecond timestamp with fixed 3-decimal formatting ("12.345") so the
+/// output is byte-stable across platforms.
+std::string us(std::uint64_t ns) {
+  std::ostringstream os;
+  os << ns / 1000 << '.' << static_cast<char>('0' + (ns / 100) % 10)
+     << static_cast<char>('0' + (ns / 10) % 10)
+     << static_cast<char>('0' + ns % 10);
+  return os.str();
+}
+
+void append_event(std::string& out, const SpanEvent& e, int pid,
+                  std::uint64_t tid_on_track) {
+  out += "    {\"name\":\"";
+  out += telemetry::json_escape(e.name);
+  out += "\",\"cat\":\"flymon\",\"ph\":\"";
+  out += e.kind == EventKind::kSpan ? 'X' : 'i';
+  out += "\",\"ts\":";
+  out += us(e.start_ns);
+  if (e.kind == EventKind::kSpan) {
+    out += ",\"dur\":";
+    out += us(e.dur_ns);
+  } else {
+    out += ",\"s\":\"t\"";
+  }
+  out += ",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid_on_track);
+  out += ",\"args\":{\"gen\":";
+  out += std::to_string(e.gen);
+  out += ",\"arg\":";
+  out += std::to_string(e.arg);
+  out += ",\"depth\":";
+  out += std::to_string(e.depth);
+  out += "}},\n";
+}
+
+void append_meta(std::string& out, const char* what, int pid,
+                 std::uint64_t tid, const std::string& name) {
+  out += "    {\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"args\":{\"name\":\"";
+  out += telemetry::json_escape(name);
+  out += "\"}},\n";
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const std::vector<SpanEvent>& events) {
+  // Deterministic order regardless of collect()'s: (start, tid, dur desc,
+  // name) — Perfetto re-sorts anyway, golden tests compare bytes.
+  std::vector<SpanEvent> ev = events;
+  std::sort(ev.begin(), ev.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+    return std::string_view(a.name) < std::string_view(b.name);
+  });
+
+  std::set<std::uint32_t> tids;
+  std::set<std::uint64_t> gens;
+  for (const SpanEvent& e : ev) {
+    tids.insert(e.tid);
+    if (e.gen != 0) gens.insert(e.gen);
+  }
+
+  std::string out;
+  out.reserve(256 + ev.size() * 160);
+  out += "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n";
+  append_meta(out, "process_name", kThreadPid, 0, "flymon threads");
+  for (std::uint32_t t : tids)
+    append_meta(out, "thread_name", kThreadPid, t,
+                "thread " + std::to_string(t));
+  if (!gens.empty()) {
+    append_meta(out, "process_name", kReconfigPid, 0,
+                "flymon reconfigurations");
+    for (std::uint64_t g : gens)
+      append_meta(out, "thread_name", kReconfigPid, g,
+                  "reconfig #" + std::to_string(g));
+  }
+  for (const SpanEvent& e : ev) {
+    append_event(out, e, kThreadPid, e.tid);
+    if (e.gen != 0) append_event(out, e, kReconfigPid, e.gen);
+  }
+  // Strip the trailing ",\n" so the array is valid JSON.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<SpanEvent>& events) {
+  return telemetry::write_file(path, to_chrome_trace_json(events));
+}
+
+}  // namespace flymon::trace

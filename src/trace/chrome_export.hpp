@@ -1,0 +1,27 @@
+// Chrome trace-event JSON export of collected spans, loadable in Perfetto
+// (ui.perfetto.dev) and chrome://tracing.  Two process groups:
+//   pid 1 "flymon threads"          — one track per recording thread
+//   pid 2 "flymon reconfigurations" — one track per generation tag, so each
+//                                     reconfiguration reads as its own lane
+// Spans emit as ph:"X" complete events (ts/dur in microseconds), instants
+// as ph:"i", and track names as ph:"M" metadata.  Output is deterministic
+// for a given event list (stable ordering, fixed number formatting) so
+// golden tests can compare byte-for-byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/span.hpp"
+
+namespace flymon::trace {
+
+/// Render `events` (as returned by SpanCollector::collect()) as a Chrome
+/// trace-event JSON document.
+std::string to_chrome_trace_json(const std::vector<SpanEvent>& events);
+
+/// Convenience: render + write to `path`.  Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<SpanEvent>& events);
+
+}  // namespace flymon::trace

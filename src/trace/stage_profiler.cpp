@@ -1,0 +1,87 @@
+#include "trace/stage_profiler.hpp"
+
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace flymon::trace {
+
+const char* to_string(Stage s) noexcept {
+  switch (s) {
+    case Stage::kCompression:
+      return "compression";
+    case Stage::kFilter:
+      return "filter";
+    case Stage::kAddress:
+      return "address";
+    case Stage::kSalu:
+      return "salu";
+    case Stage::kClaim:
+      return "claim";
+    case Stage::kExecute:
+      return "execute";
+    case Stage::kMerge:
+      return "merge";
+    case Stage::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+StageProfiler& StageProfiler::global() {
+  static StageProfiler* p = new StageProfiler();  // immortal, like the
+  return *p;                                      // span collector
+}
+
+void StageProfiler::record_batch(const BatchStageSample& s) noexcept {
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    if (s.items[i] == 0 && s.cycles[i] == 0) continue;
+    cells_[i].cycles.fetch_add(s.cycles[i], std::memory_order_relaxed);
+    cells_[i].items.fetch_add(s.items[i], std::memory_order_relaxed);
+    cells_[i].samples.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void StageProfiler::record(Stage s, std::uint64_t cycles,
+                           std::uint64_t items) noexcept {
+  Cell& c = cells_[static_cast<std::size_t>(s)];
+  c.cycles.fetch_add(cycles, std::memory_order_relaxed);
+  c.items.fetch_add(items, std::memory_order_relaxed);
+  c.samples.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::array<StageProfiler::StageStats, kNumStages> StageProfiler::snapshot()
+    const {
+  std::array<StageStats, kNumStages> out{};
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    out[i].cycles = cells_[i].cycles.load(std::memory_order_relaxed);
+    out[i].items = cells_[i].items.load(std::memory_order_relaxed);
+    out[i].samples = cells_[i].samples.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void StageProfiler::reset() noexcept {
+  batches_.store(0, std::memory_order_relaxed);
+  for (Cell& c : cells_) {
+    c.cycles.store(0, std::memory_order_relaxed);
+    c.items.store(0, std::memory_order_relaxed);
+    c.samples.store(0, std::memory_order_relaxed);
+  }
+}
+
+void StageProfiler::flush_to_registry(telemetry::Registry& registry) const {
+  const auto snap = snapshot();
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    if (snap[i].samples == 0) continue;
+    const char* stage = to_string(static_cast<Stage>(i));
+    registry.gauge("flymon_stage_cycles_total", {{"stage", stage}})
+        .set(static_cast<double>(snap[i].cycles));
+    registry.gauge("flymon_stage_items_total", {{"stage", stage}})
+        .set(static_cast<double>(snap[i].items));
+    registry.gauge("flymon_stage_cycles_per_item", {{"stage", stage}})
+        .set(snap[i].cycles_per_item());
+  }
+}
+
+}  // namespace flymon::trace

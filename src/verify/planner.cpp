@@ -10,6 +10,7 @@
 #include "core/flymon_dataplane.hpp"
 #include "exec/exec_plan.hpp"
 #include "telemetry/telemetry.hpp"
+#include "trace/span.hpp"
 #include "verify/verifier.hpp"
 
 namespace flymon::control {
@@ -172,6 +173,7 @@ std::string PlanResult::format() const {
 namespace flymon::control {
 
 verify::PlanResult Controller::plan(const std::vector<PlanOp>& ops) const {
+  trace::Span span("ctl.plan", ops.size());
   verify::PlanResult result;
 
   // Compiled signature of the live world: what the published ExecPlan

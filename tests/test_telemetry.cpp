@@ -504,7 +504,7 @@ TEST(ShellTrace, CommandsRoundTrip) {
   const std::string dump = shell.execute("trace dump");
   EXPECT_NE(dump.find("\"steps\""), std::string::npos);
   EXPECT_EQ(shell.execute("trace bogus"),
-            "error: usage: trace [on [1-in-N]|off|dump [path]|status]");
+            "error: usage: trace [on [1-in-N]|off|dump [path]|status|spans ...]");
 }
 
 }  // namespace
