@@ -1,0 +1,46 @@
+// std::mutex wrapped as a Clang thread-safety `capability`, plus the
+// matching scoped lock.  libstdc++'s std::mutex carries no capability
+// attribute, so FLYMON_GUARDED_BY(some_std_mutex) would be inert; guarding
+// against this wrapper makes `clang++ -Wthread-safety` actually prove the
+// lock discipline (see thread_annotations.hpp for the CI wiring).
+//
+// The wrapper is layout- and cost-identical to the std::mutex it holds:
+// lock()/unlock() inline into the pthread calls.  It deliberately does NOT
+// satisfy BasicLockable for std::unique_lock + condition_variable use —
+// cv-driven mutexes stay std::mutex and document their protocol in
+// comments, because the analysis cannot track a lock handed to a cv wait.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace flymon::common {
+
+class FLYMON_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FLYMON_ACQUIRE() { mu_.lock(); }
+  void unlock() FLYMON_RELEASE() { mu_.unlock(); }
+  bool try_lock() FLYMON_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard for Mutex, visible to the thread-safety analysis.
+class FLYMON_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FLYMON_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FLYMON_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace flymon::common

@@ -1,0 +1,64 @@
+// Clang thread-safety-analysis annotation macros (the standard LLVM set,
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed FLYMON_
+// and compiled away entirely under other compilers.  The annotations are
+// statically checked by `clang++ -Wthread-safety` (the CI thread-safety leg
+// builds with -Werror=thread-safety via FLYMON_WERROR_THREAD_SAFETY); GCC
+// builds see empty macros and are unaffected.
+//
+// Annotate against flymon::common::Mutex (annotated_mutex.hpp), not
+// std::mutex: libstdc++'s std::mutex does not carry the `capability`
+// attribute, so guards written against it are inert.  Mutexes that pair
+// with a std::condition_variable stay std::mutex (the analysis cannot see
+// through unique_lock handed to a cv) and document their protocol in
+// comments instead.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define FLYMON_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#endif
+#endif
+#ifndef FLYMON_THREAD_ANNOTATION_ATTRIBUTE__
+#define FLYMON_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside Clang
+#endif
+
+/// Type is a lockable capability ("mutex").
+#define FLYMON_CAPABILITY(x) FLYMON_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// RAII type that acquires a capability at construction, releases at scope
+/// exit.
+#define FLYMON_SCOPED_CAPABILITY \
+  FLYMON_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define FLYMON_GUARDED_BY(x) FLYMON_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by `x`.
+#define FLYMON_PT_GUARDED_BY(x) \
+  FLYMON_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them).
+#define FLYMON_REQUIRES(...) \
+  FLYMON_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (caller must not hold them).
+#define FLYMON_ACQUIRE(...) \
+  FLYMON_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define FLYMON_RELEASE(...) \
+  FLYMON_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `ret`.
+#define FLYMON_TRY_ACQUIRE(...) \
+  FLYMON_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention).
+#define FLYMON_EXCLUDES(...) \
+  FLYMON_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot model (condition-variable
+/// hand-offs, lock transfer across threads).
+#define FLYMON_NO_THREAD_SAFETY_ANALYSIS \
+  FLYMON_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)

@@ -201,7 +201,14 @@ std::vector<exec::EntryOwnership> Controller::entry_ownership() const {
 
 void Controller::recompile_and_publish() {
   const std::vector<exec::EntryOwnership> owners = entry_ownership();
-  dp_->republish_plan(owners);
+  if (dp_->republish_plan(owners) == 0) {
+    // The publish-time translation validator vetoed the compiled plan
+    // (generation 0 = nothing published, interpreted path serves traffic).
+    // Surface the divergence diagnostics the same way the deploy gates do;
+    // the deployment itself stands — a miscompile is a compiler bug, not a
+    // deployment bug.
+    last_verify_errors_ = dp_->last_publish_veto();
+  }
 }
 
 DeployResult Controller::add_task(const TaskSpec& spec) {

@@ -138,9 +138,15 @@ class Controller {
   /// Paranoid mode: every deploy (add/resize/split) runs the full static
   /// verifier after committing; error diagnostics roll the deployment back
   /// and fail the DeployResult.  remove_task re-verifies too and surfaces
-  /// residual corruption via last_verify_errors().  Off by default (tests
-  /// enable it); the shell toggles it with `verify paranoid on|off`.
-  void set_paranoid(bool on) noexcept { paranoid_ = on; }
+  /// residual corruption via last_verify_errors().  Additionally installs
+  /// a publish-time translation-validation gate on the data plane: every
+  /// compiled ExecPlan is symbolically checked against the interpreted
+  /// semantics *before* the RCU store, and a divergent plan is vetoed
+  /// (processing stays on the interpreted path, diagnostics land in
+  /// last_verify_errors()).  Off by default (tests enable it); the shell
+  /// toggles it with `verify paranoid on|off`.  Implemented in
+  /// verifier.cpp so this header stays free of the analyzer machinery.
+  void set_paranoid(bool on);
   bool paranoid() const noexcept { return paranoid_; }
   /// Formatted error diagnostics of the most recent paranoid check that
   /// failed (empty when the last check was clean or paranoid mode is off).

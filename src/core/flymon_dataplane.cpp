@@ -31,7 +31,7 @@ void FlyMonDataPlane::bind_telemetry(telemetry::Registry& registry) {
 std::uint64_t FlyMonDataPlane::republish_plan(
     std::span<const exec::EntryOwnership> owners) {
   trace::Span span("exec.publish");
-  std::lock_guard<std::mutex> publish(publish_mu_);
+  common::MutexLock publish(publish_mu_);
   // Fence the pool across compile+publish: block submissions and fold
   // outstanding shard deltas under the OLD plan, so no shard ever holds
   // deltas produced under a plan that is no longer the merge target.
@@ -39,6 +39,21 @@ std::uint64_t FlyMonDataPlane::republish_plan(
   if (pool_ != nullptr) fence.emplace(*pool_);
   auto plan = exec::PlanCompiler::compile(*this, owners, ++next_generation_);
   const std::uint64_t generation = plan->generation();
+  if (validator_) {
+    std::string veto = validator_(*this, *plan);
+    if (!veto.empty()) {
+      // Refuse the miscompiled plan AND the previously published one (it
+      // describes a deployment that no longer exists): the interpreted
+      // path — the semantic ground truth the validator compared against —
+      // serves traffic until a clean compile publishes.
+      last_publish_veto_ = std::move(veto);
+      plan_.store(nullptr);
+      span.set_arg(0);
+      trace::instant("exec.plan_vetoed", generation);
+      return 0;
+    }
+    last_publish_veto_.clear();
+  }
   plan_.store_if_newer(std::move(plan));
   span.set_arg(generation);
   trace::instant("exec.plan_published", generation);
@@ -54,11 +69,22 @@ std::uint64_t FlyMonDataPlane::republish_plan() {
 
 void FlyMonDataPlane::unpublish_plan() noexcept {
   trace::Span span("exec.unpublish");
-  std::lock_guard<std::mutex> publish(publish_mu_);
+  common::MutexLock publish(publish_mu_);
   // Merge under the plan the deltas belong to before it goes away.
   std::optional<exec::WorkerPool::Fence> fence;
   if (pool_ != nullptr) fence.emplace(*pool_);
   plan_.store(nullptr);
+}
+
+void FlyMonDataPlane::set_plan_validator(PlanValidator validator) {
+  common::MutexLock publish(publish_mu_);
+  validator_ = std::move(validator);
+  last_publish_veto_.clear();
+}
+
+std::string FlyMonDataPlane::last_publish_veto() const {
+  common::MutexLock publish(publish_mu_);
+  return last_publish_veto_;
 }
 
 std::shared_ptr<const exec::ExecPlan> FlyMonDataPlane::current_plan() const noexcept {

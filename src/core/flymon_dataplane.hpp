@@ -15,11 +15,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/annotated_mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/cmu_group.hpp"
 #include "exec/exec_plan.hpp"
 #include "exec/plan_cell.hpp"
@@ -129,6 +133,28 @@ class FlyMonDataPlane {
   /// Drop the published plan: processing reverts to the interpreted path.
   void unpublish_plan() noexcept;
 
+  // ---- publish-time plan validation (translation-validation gate) ----
+
+  /// Validator invoked on every freshly compiled plan between compilation
+  /// and the RCU store, under publish_mu_ and the worker-pool fence.  An
+  /// empty return admits the plan; any non-empty string (formatted
+  /// diagnostics) VETOES publication: the plan is discarded, the previously
+  /// published plan is dropped too (the interpreted path — the semantic
+  /// ground truth the validator compared against — serves traffic instead),
+  /// republish_plan returns 0, and the string is kept in
+  /// last_publish_veto().  Installed by Controller::set_paranoid with the
+  /// verify::validate_plan translation validator.
+  using PlanValidator =
+      std::function<std::string(const FlyMonDataPlane&, const exec::ExecPlan&)>;
+
+  /// Install (or, with an empty function, clear) the publish-time
+  /// validator.  Takes effect from the next republish_plan call.
+  void set_plan_validator(PlanValidator validator);
+
+  /// Diagnostics of the most recent vetoed publication; empty when the
+  /// last publish was admitted (or no validator is installed).
+  std::string last_publish_veto() const;
+
   /// The currently published plan (nullptr = interpreted execution).
   std::shared_ptr<const exec::ExecPlan> current_plan() const noexcept;
 
@@ -158,8 +184,12 @@ class FlyMonDataPlane {
   std::atomic<std::uint64_t> packets_{0};
   // The RCU cell: packet path acquire-loads, control plane release-stores.
   exec::PlanCell plan_;
-  std::mutex publish_mu_;  ///< serialises compile+publish and pool fencing
-  std::uint64_t next_generation_ = 0;  ///< guarded by publish_mu_
+  /// Serialises compile+publish and pool fencing.  mutable so read-only
+  /// accessors (last_publish_veto) can lock it on a const data plane.
+  mutable common::Mutex publish_mu_;
+  std::uint64_t next_generation_ FLYMON_GUARDED_BY(publish_mu_) = 0;
+  PlanValidator validator_ FLYMON_GUARDED_BY(publish_mu_);
+  std::string last_publish_veto_ FLYMON_GUARDED_BY(publish_mu_);
   std::unique_ptr<exec::BatchScratch> scratch_;  ///< processing-thread only
   exec::BatchOptions batch_opts_;
   telemetry::Registry* registry_ = nullptr;

@@ -10,7 +10,7 @@ namespace flymon::exec {
 
 bool PlanCell::store_if_newer(std::shared_ptr<const ExecPlan> next) noexcept {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     if (plan_ == nullptr || next == nullptr ||
         next->generation() > plan_->generation()) {
       plan_.swap(next);  // `next` now carries the displaced snapshot

@@ -280,8 +280,23 @@ class ExecPlan {
   /// counters this plan was compiled against, zeroing the block.
   void flush_counter_block(std::span<std::uint64_t> block) const;
 
+  // ---- read-only views for the translation validator ----
+  //
+  // src/verify/translate re-walks these flat arrays in lockstep with
+  // ir::for_each_installed_entry to prove every compiled entry equivalent
+  // to its interpreted counterpart.  Views only — the plan stays immutable
+  // after publication.
+
+  std::span<const CompiledEntry> entries() const noexcept { return entries_; }
+  std::span<const CompiledCmu> compiled_cmus() const noexcept { return cmus_; }
+  std::span<const CompiledGroup> compiled_groups() const noexcept {
+    return groups_;
+  }
+  std::span<const HashSlot> hash_slots() const noexcept { return slots_; }
+
  private:
   friend class PlanCompiler;
+  friend struct PlanMutator;
 
   // Both walk functions are templated on kProfiled: the <false>
   // instantiation contains no timing code at all (it is the plain hot
@@ -313,6 +328,26 @@ class ExecPlan {
   std::vector<MergeRegion> merge_regions_;
   std::vector<std::string> merge_blockers_;
   std::vector<MergeBlockerKind> merge_blocker_kinds_;
+};
+
+/// Deliberate-miscompile backdoor for the verification self-test
+/// (src/verify/mutations.cpp): static accessors to a published plan's
+/// private arrays so seeded lowering bugs can be injected and the
+/// translation validator proven to catch them.  Nothing outside the
+/// self-test harness may use this — the hot path relies on plans being
+/// immutable after publication.
+struct PlanMutator {
+  static std::vector<CompiledEntry>& entries(ExecPlan& p) { return p.entries_; }
+  static std::vector<HashSlot>& hash_slots(ExecPlan& p) { return p.slots_; }
+  static std::vector<MergeRegion>& merge_regions(ExecPlan& p) {
+    return p.merge_regions_;
+  }
+  static std::vector<std::string>& merge_blockers(ExecPlan& p) {
+    return p.merge_blockers_;
+  }
+  static std::vector<MergeBlockerKind>& merge_blocker_kinds(ExecPlan& p) {
+    return p.merge_blocker_kinds_;
+  }
 };
 
 /// Compiles a (data plane, ownership) snapshot into an ExecPlan.  Resolves

@@ -16,8 +16,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <utility>
+
+#include "common/annotated_mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace flymon::exec {
 
@@ -27,7 +29,7 @@ class PlanCell {
  public:
   /// Acquire the current snapshot (nullptr = no plan published).
   std::shared_ptr<const ExecPlan> load() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(mu_);
     return plan_;
   }
 
@@ -35,7 +37,7 @@ class PlanCell {
   /// snapshot's reference is dropped after the lock is released.
   void store(std::shared_ptr<const ExecPlan> next) noexcept {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      common::MutexLock lk(mu_);
       plan_.swap(next);
     }
     // `next` now holds the old snapshot; it dies here, outside the lock.
@@ -49,8 +51,8 @@ class PlanCell {
   bool store_if_newer(std::shared_ptr<const ExecPlan> next) noexcept;
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const ExecPlan> plan_;
+  mutable common::Mutex mu_;
+  std::shared_ptr<const ExecPlan> plan_ FLYMON_GUARDED_BY(mu_);
 };
 
 }  // namespace flymon::exec

@@ -30,7 +30,7 @@ WorkerPool::~WorkerPool() {
 }
 
 std::uint64_t WorkerPool::process(std::span<const Packet> pkts) {
-  std::lock_guard<std::mutex> submit(submit_mu_);
+  common::MutexLock submit(submit_mu_);
   if (pkts.empty()) return dp_->plan_generation();
 
   // One snapshot per job: every chunk of this batch executes the same
@@ -125,12 +125,12 @@ void WorkerPool::run_chunks(Job& job, std::size_t shard_idx) {
 }
 
 void WorkerPool::quiesce_and_merge() {
-  std::lock_guard<std::mutex> submit(submit_mu_);
+  common::MutexLock submit(submit_mu_);
   merge_locked();
 }
 
 void WorkerPool::discard_shards() {
-  std::lock_guard<std::mutex> submit(submit_mu_);
+  common::MutexLock submit(submit_mu_);
   for (auto& w : workers_) w->shard.discard();
 }
 
@@ -167,14 +167,15 @@ void WorkerPool::merge_locked() {
   }
 }
 
-WorkerPool::Fence::Fence(WorkerPool& pool)
-    : lock_(pool.submit_mu_, std::defer_lock) {
+WorkerPool::Fence::Fence(WorkerPool& pool) : pool_(pool) {
   trace::Span span("exec.fence");
   const std::uint64_t t0 = trace::monotonic_now_ns();
-  lock_.lock();
-  pool.note_fence_wait(trace::monotonic_now_ns() - t0);
-  pool.merge_locked();
+  pool_.submit_mu_.lock();
+  pool_.note_fence_wait(trace::monotonic_now_ns() - t0);
+  pool_.merge_locked();
 }
+
+WorkerPool::Fence::~Fence() { pool_.submit_mu_.unlock(); }
 
 void WorkerPool::note_fence_wait(std::uint64_t wait_ns) {
   if (fence_wait_us_ != nullptr) {
@@ -206,7 +207,7 @@ void WorkerPool::count_fallback(const ExecPlan* plan, bool tracer) {
 }
 
 void WorkerPool::bind_telemetry(telemetry::Registry* registry) {
-  std::lock_guard<std::mutex> submit(submit_mu_);
+  common::MutexLock submit(submit_mu_);
   if (registry == nullptr) {
     for (auto*& c : fallback_counters_) c = nullptr;
     for (auto*& c : blocker_counters_) c = nullptr;

@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotated_mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "exec/exec_plan.hpp"
 #include "exec/sharded_runtime.hpp"
 #include "packet/packet.hpp"
@@ -85,12 +87,13 @@ class WorkerPool {
   /// compile and publish a new plan with no deltas straddling the change.
   /// Records the lock-wait time (how long the reconfiguration stalled on
   /// in-flight traffic) and emits an "exec.fence" span.
-  class Fence {
+  class FLYMON_SCOPED_CAPABILITY Fence {
    public:
-    explicit Fence(WorkerPool& pool);
+    explicit Fence(WorkerPool& pool) FLYMON_ACQUIRE(pool.submit_mu_);
+    ~Fence() FLYMON_RELEASE();
 
    private:
-    std::unique_lock<std::mutex> lock_;
+    WorkerPool& pool_;
   };
 
  private:
@@ -113,16 +116,17 @@ class WorkerPool {
 
   void worker_main(std::size_t shard_idx);
   void run_chunks(Job& job, std::size_t shard_idx);
-  void merge_locked();
-  void note_fence_wait(std::uint64_t wait_ns);
-  void count_fallback(const ExecPlan* plan, bool tracer);
+  void merge_locked() FLYMON_REQUIRES(submit_mu_);
+  void note_fence_wait(std::uint64_t wait_ns) FLYMON_REQUIRES(submit_mu_);
+  void count_fallback(const ExecPlan* plan, bool tracer)
+      FLYMON_REQUIRES(submit_mu_);
 
   FlyMonDataPlane* dp_;
   unsigned num_executors_;
   std::vector<std::unique_ptr<Worker>> workers_;  ///< one per executor
   std::vector<std::thread> threads_;              ///< num_executors_ - 1
 
-  std::mutex submit_mu_;  ///< serialises process() / quiesce / Fence
+  common::Mutex submit_mu_;  ///< serialises process() / quiesce / Fence
 
   std::mutex job_mu_;
   std::condition_variable job_cv_;
@@ -143,10 +147,12 @@ class WorkerPool {
 
   // Telemetry handles, cached under submit_mu_ (written only by
   // bind_telemetry; read only by code already holding the lock).
-  telemetry::Counter* fallback_counters_[3] = {};  ///< no_plan, unmergeable, tracer
-  telemetry::Counter* blocker_counters_[4] = {};   ///< per MergeBlockerKind
-  telemetry::Histogram* fence_wait_us_ = nullptr;
-  telemetry::Histogram* shard_merge_us_ = nullptr;
+  telemetry::Counter* fallback_counters_[3] FLYMON_GUARDED_BY(submit_mu_) =
+      {};  ///< no_plan, unmergeable, tracer
+  telemetry::Counter* blocker_counters_[4] FLYMON_GUARDED_BY(submit_mu_) =
+      {};  ///< per MergeBlockerKind
+  telemetry::Histogram* fence_wait_us_ FLYMON_GUARDED_BY(submit_mu_) = nullptr;
+  telemetry::Histogram* shard_merge_us_ FLYMON_GUARDED_BY(submit_mu_) = nullptr;
 };
 
 }  // namespace flymon::exec

@@ -16,6 +16,7 @@ void set_enabled(bool on) noexcept {
 }
 
 bool init_from_env() noexcept {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): start-up only, pre-thread-spawn
   const char* v = std::getenv("FLYMON_TELEMETRY");
   if (v != nullptr) {
     const bool on = std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
@@ -105,7 +106,7 @@ Registry& Registry::global() {
 
 Registry::Entry& Registry::find_or_create(const std::string& name,
                                           const Labels& labels, MetricKind kind) {
-  // Caller holds mu_.
+  // Caller holds mu_ (FLYMON_REQUIRES on the declaration).
   const std::string key = metric_key(name, labels);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -122,14 +123,14 @@ Registry::Entry& Registry::find_or_create(const std::string& name,
 }
 
 Counter& Registry::counter(const std::string& name, const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   Entry& e = find_or_create(name, labels, MetricKind::kCounter);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return *e.counter;
 }
 
 Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   Entry& e = find_or_create(name, labels, MetricKind::kGauge);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
@@ -137,14 +138,14 @@ Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
 
 Histogram& Registry::histogram(const std::string& name, const Labels& labels,
                                std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   Entry& e = find_or_create(name, labels, MetricKind::kHistogram);
   if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
   return *e.histogram;
 }
 
 std::vector<MetricSample> Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(entries_.size());
   // entries_ is keyed by the canonical "name{labels}" string, so iteration
@@ -171,12 +172,12 @@ std::vector<MetricSample> Registry::snapshot() const {
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return entries_.size();
 }
 
 void Registry::reset_values() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& [key, e] : entries_) {
     if (e.counter) e.counter->reset();
     if (e.gauge) e.gauge->reset();

@@ -9,10 +9,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/annotated_mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace flymon::telemetry {
 
@@ -137,10 +139,12 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& find_or_create(const std::string& name, const Labels& labels, MetricKind kind);
+  Entry& find_or_create(const std::string& name, const Labels& labels,
+                        MetricKind kind) FLYMON_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;  // key = canonical "name{labels}"
+  mutable common::Mutex mu_;
+  std::map<std::string, Entry> entries_
+      FLYMON_GUARDED_BY(mu_);  // key = canonical "name{labels}"
 };
 
 /// Canonical metric identity, also the Prometheus exposition form:

@@ -7,7 +7,9 @@
 namespace flymon::telemetry {
 
 PacketTracer::PacketTracer(std::size_t capacity, std::uint64_t sample_every)
-    : ring_(capacity == 0 ? 1 : capacity), every_(sample_every == 0 ? 1 : sample_every) {}
+    : capacity_(capacity == 0 ? 1 : capacity),
+      ring_(capacity_),
+      every_(sample_every == 0 ? 1 : sample_every) {}
 
 TraceRecord* PacketTracer::begin(const Packet& pkt) {
   scratch_ = TraceRecord{};
@@ -22,7 +24,7 @@ TraceRecord* PacketTracer::begin(const Packet& pkt) {
 void PacketTracer::commit() {
   if (!scratch_live_) return;
   scratch_live_ = false;
-  const std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   ring_[head_] = std::move(scratch_);
   head_ = (head_ + 1) % ring_.size();
   if (filled_ < ring_.size()) ++filled_;
@@ -30,12 +32,12 @@ void PacketTracer::commit() {
 }
 
 std::size_t PacketTracer::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   return filled_;
 }
 
 void PacketTracer::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   for (TraceRecord& r : ring_) r = TraceRecord{};
   head_ = 0;
   filled_ = 0;
@@ -45,7 +47,7 @@ void PacketTracer::clear() {
 }
 
 std::vector<TraceRecord> PacketTracer::records() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const common::MutexLock lock(mu_);
   std::vector<TraceRecord> out;
   out.reserve(filled_);
   // Oldest record: when the ring has wrapped it sits at head_, otherwise at 0.

@@ -8,10 +8,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotated_mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "packet/packet.hpp"
 
 namespace flymon::telemetry {
@@ -54,7 +55,7 @@ class PacketTracer {
  public:
   explicit PacketTracer(std::size_t capacity = 256, std::uint64_t sample_every = 1024);
 
-  std::size_t capacity() const noexcept { return ring_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
   std::uint64_t sample_every() const noexcept {
     return every_.load(std::memory_order_relaxed);
   }
@@ -96,15 +97,16 @@ class PacketTracer {
   std::string to_json() const;
 
  private:
-  std::vector<TraceRecord> ring_;  ///< guarded by mu_
-  TraceRecord scratch_;            ///< writer-private; published by commit()
-  bool scratch_live_ = false;      ///< writer-private
-  std::size_t head_ = 0;           ///< next slot to publish into; guarded by mu_
-  std::size_t filled_ = 0;         ///< guarded by mu_
+  std::size_t capacity_;  ///< == ring_.size(); immutable, readable lock-free
+  mutable common::Mutex mu_;
+  std::vector<TraceRecord> ring_ FLYMON_GUARDED_BY(mu_);
+  TraceRecord scratch_;        ///< writer-private; published by commit()
+  bool scratch_live_ = false;  ///< writer-private
+  std::size_t head_ FLYMON_GUARDED_BY(mu_) = 0;  ///< next slot to publish into
+  std::size_t filled_ FLYMON_GUARDED_BY(mu_) = 0;
   std::atomic<std::uint64_t> seen_{0};
   std::atomic<std::uint64_t> taken_{0};
   std::atomic<std::uint64_t> every_;
-  mutable std::mutex mu_;
 };
 
 }  // namespace flymon::telemetry

@@ -21,6 +21,7 @@ void set_enabled(bool on) noexcept {
 }
 
 bool init_from_env() noexcept {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): start-up only, pre-thread-spawn
   const char* v = std::getenv("FLYMON_TRACE");
   if (v != nullptr) {
     const bool on = std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
@@ -91,7 +92,7 @@ SpanCollector& SpanCollector::global() {
 
 SpanCollector::ThreadRing& SpanCollector::ring_for_this_thread() {
   if (t_ring != nullptr && t_ring_owner == this) return *t_ring;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   rings_.push_back(
       std::make_unique<ThreadRing>(static_cast<std::uint32_t>(rings_.size())));
   flushed_.push_back(0);
@@ -119,7 +120,7 @@ void SpanCollector::emit(const char* name, std::uint64_t start_ns,
 }
 
 SpanCollector::Stats SpanCollector::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   Stats s;
   s.threads = rings_.size();
   for (const auto& r : rings_) {
@@ -132,7 +133,7 @@ SpanCollector::Stats SpanCollector::stats() const {
 
 std::vector<SpanEvent> SpanCollector::collect() const {
   std::vector<SpanEvent> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (const auto& r : rings_) {
     const std::uint64_t head = r->head.load(std::memory_order_acquire);
     const std::uint64_t first = head > kRingCapacity ? head - kRingCapacity : 0;
@@ -166,14 +167,14 @@ std::vector<SpanEvent> SpanCollector::collect() const {
 }
 
 void SpanCollector::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& r : rings_) r->head.store(0, std::memory_order_release);
   std::fill(flushed_.begin(), flushed_.end(), 0);
   flushed_drops_ = 0;
 }
 
 void SpanCollector::flush_to_registry(telemetry::Registry& registry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   // No thread ever recorded a span: leave the registry untouched so trace
   // metrics only appear once tracing has actually been used.
   if (rings_.empty()) return;

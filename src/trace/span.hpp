@@ -23,8 +23,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/annotated_mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace flymon::telemetry {
 class Registry;
@@ -126,10 +128,11 @@ class SpanCollector {
   static thread_local ThreadRing* t_ring;
   static thread_local SpanCollector* t_ring_owner;
 
-  mutable std::mutex mu_;  ///< guards rings_ registration + flush cursors
-  std::vector<std::unique_ptr<ThreadRing>> rings_;
-  std::vector<std::uint64_t> flushed_;  ///< per-ring flush cursor (head)
-  std::uint64_t flushed_drops_ = 0;
+  mutable common::Mutex mu_;  ///< guards rings_ registration + flush cursors
+  std::vector<std::unique_ptr<ThreadRing>> rings_ FLYMON_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> flushed_
+      FLYMON_GUARDED_BY(mu_);  ///< per-ring flush cursor (head)
+  std::uint64_t flushed_drops_ FLYMON_GUARDED_BY(mu_) = 0;
 };
 
 /// Record an instant event (zero duration) on the calling thread.

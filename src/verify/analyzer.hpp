@@ -9,6 +9,10 @@
 #include "control/crossstack.hpp"
 #include "verify/diagnostics.hpp"
 
+namespace flymon::exec {
+class ExecPlan;
+}  // namespace flymon::exec
+
 namespace flymon::verify {
 
 /// Read-only snapshot the analyzers run over.  `plan` is optional: when a
@@ -25,6 +29,13 @@ struct VerifyContext {
   /// counter is "overflow-safe" when neither its p2 guard nor this many
   /// worst-case increments can push it past the register's value mask.
   std::uint64_t packets_per_epoch = 1ull << 26;
+  /// Compiled plan for the translation-validation analyzers ("translate",
+  /// "merge").  Deliberately NOT defaulted to the data plane's current
+  /// plan: deploy-time verify gates run *before* recompilation, where the
+  /// current plan legitimately describes the previous deployment.  Callers
+  /// with a plan in hand (publish gate, --translate, self-test) set it
+  /// explicitly; when null those analyzers are silent no-ops.
+  const exec::ExecPlan* exec_plan = nullptr;
 };
 
 class Analyzer {

@@ -4,7 +4,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "exec/exec_plan.hpp"
 #include "telemetry/export.hpp"
+#include "verify/translate/translate.hpp"
 #include "verify/verifier.hpp"
 
 namespace flymon::verify {
@@ -262,6 +264,126 @@ std::vector<Mutation> mutation_catalogue() {
 
 namespace {
 
+/// First compiled entry satisfying `pred`; throws when the base scenario
+/// lacks one (harness bug, not a detection failure).
+template <typename Pred>
+exec::CompiledEntry& find_entry(exec::ExecPlan& plan, Pred pred,
+                                const char* what) {
+  for (exec::CompiledEntry& e : exec::PlanMutator::entries(plan)) {
+    if (pred(e)) return e;
+  }
+  throw std::logic_error(std::string("plan mutation harness: no entry ") +
+                         what);
+}
+
+}  // namespace
+
+std::vector<PlanMutation> plan_mutation_catalogue() {
+  std::vector<PlanMutation> cat;
+
+  cat.push_back(
+      {"miscompile-wrong-preshift", "translate.address",
+       "address pre-shift off by one: every packet lands in the wrong bucket",
+       [](exec::ExecPlan& plan) {
+         exec::CompiledEntry& e = find_entry(
+             plan,
+             [](const exec::CompiledEntry& ce) {
+               return (ce.key_slot_a != 0 || ce.key_slot_b != 0) &&
+                      ce.addr_mask != 0;
+             },
+             "with a hashed multi-bucket partition");
+         e.addr_shift += 1;
+       }});
+
+  cat.push_back(
+      {"miscompile-dropped-filter", "translate.filter",
+       "filter prefix term dropped: the entry matches traffic it must not",
+       [](exec::ExecPlan& plan) {
+         exec::CompiledEntry& e = find_entry(
+             plan,
+             [](const exec::CompiledEntry& ce) {
+               return ce.filter_src_mask != 0 || ce.filter_dst_mask != 0;
+             },
+             "with a non-wildcard filter");
+         e.filter_src_mask = 0;
+         e.filter_dst_mask = 0;
+       }});
+
+  cat.push_back(
+      {"miscompile-swapped-opcode", "translate.op",
+       "Cond-ADD lowered to MAX: counts silently become maxima",
+       [](exec::ExecPlan& plan) {
+         exec::CompiledEntry& e = find_entry(
+             plan,
+             [](const exec::CompiledEntry& ce) {
+               return ce.op == StatefulOp::kCondAdd;
+             },
+             "with a Cond-ADD op");
+         e.op = StatefulOp::kMax;
+       }});
+
+  cat.push_back(
+      {"miscompile-cleared-blockers", "translate.merge.unsound",
+       "merge blockers wiped: a register-gated plan claims to shard-merge "
+       "exactly",
+       [](exec::ExecPlan& plan) {
+         if (plan.merge_blockers().empty()) {
+           throw std::logic_error(
+               "plan mutation harness: base scenario has no merge blockers");
+         }
+         exec::PlanMutator::merge_blockers(plan).clear();
+         exec::PlanMutator::merge_blocker_kinds(plan).clear();
+       }});
+
+  cat.push_back(
+      {"miscompile-merge-identity", "translate.merge.law",
+       "merge region saturation mask narrowed: the fold loses its identity "
+       "over the register domain",
+       [](exec::ExecPlan& plan) {
+         for (exec::MergeRegion& r : exec::PlanMutator::merge_regions(plan)) {
+           // Only kSum / kXor folds consult the mask; narrow one of those.
+           if (r.kind == exec::MergeKind::kSum ||
+               r.kind == exec::MergeKind::kXor) {
+             r.value_mask >>= 16;
+             return;
+           }
+         }
+         throw std::logic_error(
+             "plan mutation harness: no mask-sensitive merge region");
+       }});
+
+  cat.push_back(
+      {"miscompile-stale-lane", "translate.lane",
+       "hash-lane snapshot cleared: compiled hashing diverges from the live "
+       "compression stage",
+       [](exec::ExecPlan& plan) {
+         auto& slots = exec::PlanMutator::hash_slots(plan);
+         if (slots.size() < 2) {
+           throw std::logic_error(
+               "plan mutation harness: no configured hash slot");
+         }
+         slots[1].unit.clear_mask();
+       }});
+
+  cat.push_back(
+      {"miscompile-bogus-chain", "translate.chain",
+       "entry rewired to publish on a chain channel the deployment never "
+       "writes",
+       [](exec::ExecPlan& plan) {
+         exec::CompiledEntry& e = find_entry(
+             plan,
+             [](const exec::CompiledEntry& ce) {
+               return ce.chain_out == exec::kNoChain;
+             },
+             "without a chain output");
+         e.chain_out = 7;
+       }});
+
+  return cat;
+}
+
+namespace {
+
 /// Deploy the mixed Table-1 scenario every mutation corrupts: a wildcard
 /// heavy-hitter CMS, a filtered Bloom filter, and a chained Odd Sketch
 /// (which also exercises the reserved XOR slot and chain channels).
@@ -319,6 +441,22 @@ VerifyReport verify_mutated_world(const Mutation& m) {
   return verify_deployment(ctl, &plan);
 }
 
+/// Corrupt a fresh base world's PUBLISHED plan with `m` and run the
+/// translation validator over it.  The const_cast is confined to the
+/// self-test: nothing processes packets against the plan while it mutates.
+VerifyReport verify_mutated_plan(const PlanMutation& m) {
+  FlyMonDataPlane dp(9);
+  Controller ctl(dp);
+  deploy_base_scenario(ctl);  // every add_task republishes the plan
+  const auto plan =
+      std::const_pointer_cast<exec::ExecPlan>(dp.current_plan());
+  if (plan == nullptr) {
+    throw std::logic_error("plan mutation harness: no published plan");
+  }
+  m.apply(*plan);
+  return validate_plan(dp, *plan);
+}
+
 }  // namespace
 
 SelfTestResult run_mutation_self_test(std::string_view name_prefix) {
@@ -329,17 +467,34 @@ SelfTestResult run_mutation_self_test(std::string_view name_prefix) {
     deploy_base_scenario(ctl);
     auto plan = control::cross_stack(dataplane::TofinoModel::kNumStages,
                                      dp.group(0).config());
-    const VerifyReport report = verify_deployment(ctl, &plan);
+    VerifyReport report = verify_deployment(ctl, &plan);
+    // The published compiled plan must also translate clean — the plan
+    // mutations below only prove detection if the unmutated plan doesn't
+    // already diagnose.
+    if (const auto compiled = dp.current_plan(); compiled != nullptr) {
+      report.merge(validate_plan(dp, *compiled));
+    }
     result.baseline_clean = report.empty();
     result.baseline_diagnostics = report.format();
   }
 
+  const auto matches = [&](const std::string& name) {
+    return name_prefix.empty() ||
+           std::string_view(name).substr(0, name_prefix.size()) == name_prefix;
+  };
   for (const Mutation& m : mutation_catalogue()) {
-    if (!name_prefix.empty() &&
-        std::string_view(m.name).substr(0, name_prefix.size()) != name_prefix) {
-      continue;
-    }
+    if (!matches(m.name)) continue;
     const VerifyReport report = verify_mutated_world(m);
+    SelfTestCase c;
+    c.mutation = m.name;
+    c.expected_check = m.expected_check;
+    c.detected = report.has_check(m.expected_check);
+    c.diagnostics = report.format();
+    result.cases.push_back(std::move(c));
+  }
+  for (const PlanMutation& m : plan_mutation_catalogue()) {
+    if (!matches(m.name)) continue;
+    const VerifyReport report = verify_mutated_plan(m);
     SelfTestCase c;
     c.mutation = m.name;
     c.expected_check = m.expected_check;
@@ -353,6 +508,9 @@ SelfTestResult run_mutation_self_test(std::string_view name_prefix) {
 std::optional<VerifyReport> run_single_mutation(std::string_view name) {
   for (const Mutation& m : mutation_catalogue()) {
     if (m.name == name) return verify_mutated_world(m);
+  }
+  for (const PlanMutation& m : plan_mutation_catalogue()) {
+    if (m.name == name) return verify_mutated_plan(m);
   }
   return std::nullopt;
 }

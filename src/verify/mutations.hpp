@@ -14,6 +14,10 @@
 #include "core/flymon_dataplane.hpp"
 #include "verify/diagnostics.hpp"
 
+namespace flymon::exec {
+class ExecPlan;
+}  // namespace flymon::exec
+
 namespace flymon::verify {
 
 /// The fresh world a mutation corrupts: a 9-group data plane with a mixed
@@ -35,6 +39,23 @@ struct Mutation {
 /// semantic-dataflow ones keyed on dataflow.* check ids).
 std::vector<Mutation> mutation_catalogue();
 
+/// A seeded MISCOMPILE: corrupts a freshly compiled, published ExecPlan in
+/// place (via exec::PlanMutator) while the deployment it was lowered from
+/// stays intact.  The translation validator (verify::validate_plan) must
+/// flag every one with its expected translate.* check id — this is the
+/// self-test that proves the validator actually discriminates.
+struct PlanMutation {
+  std::string name;            ///< "miscompile-..."
+  std::string expected_check;  ///< dotted translate.* id that must appear
+  std::string description;
+  std::function<void(exec::ExecPlan&)> apply;
+};
+
+/// The seeded-miscompile catalogue (7 mutations spanning address
+/// translation, filters, op-codes, merge metadata, lane snapshots and
+/// chain plumbing).
+std::vector<PlanMutation> plan_mutation_catalogue();
+
 struct SelfTestCase {
   std::string mutation;
   std::string expected_check;
@@ -51,9 +72,13 @@ struct SelfTestResult {
 };
 
 /// Build a fresh world per mutation, corrupt it, verify, and require the
-/// expected diagnostic.  The unmutated baseline must verify clean.
-/// `name_prefix` restricts the run to mutations whose name starts with it
-/// (e.g. "dataflow-" for the semantic subset); empty runs everything.
+/// expected diagnostic.  Covers both catalogues: deployment mutations run
+/// through verify_deployment, plan mutations through validate_plan over a
+/// deliberately corrupted published ExecPlan.  The unmutated baseline
+/// (deployment AND its compiled plan) must verify clean.  `name_prefix`
+/// restricts the run to mutations whose name starts with it (e.g.
+/// "dataflow-" for the semantic subset, "miscompile-" for the
+/// translation-validation subset); empty runs everything.
 SelfTestResult run_mutation_self_test(std::string_view name_prefix = {});
 
 /// Corrupt a fresh world with the named mutation and return the verifier's

@@ -1,0 +1,85 @@
+#include "verify/translate/symbits.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace flymon::verify::translate {
+
+namespace {
+
+/// Symmetric difference of two sorted var sets: terms present in both
+/// cancel (x ^ x = 0).
+std::vector<std::uint32_t> xor_vars(const std::vector<std::uint32_t>& a,
+                                    const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+SymWord SymWord::constant(std::uint32_t v) {
+  SymWord w;
+  for (unsigned i = 0; i < 32; ++i) w.bits_[i].constant = ((v >> i) & 1u) != 0;
+  return w;
+}
+
+SymWord SymWord::lane(std::uint32_t lane_id) {
+  SymWord w;
+  for (unsigned i = 0; i < 32; ++i) w.bits_[i].vars = {lane_id * 32u + i};
+  return w;
+}
+
+SymWord SymWord::operator^(const SymWord& o) const {
+  SymWord w;
+  for (unsigned i = 0; i < 32; ++i) {
+    w.bits_[i].constant = bits_[i].constant != o.bits_[i].constant;
+    w.bits_[i].vars = xor_vars(bits_[i].vars, o.bits_[i].vars);
+  }
+  return w;
+}
+
+SymWord SymWord::operator&(std::uint32_t mask) const {
+  SymWord w;
+  for (unsigned i = 0; i < 32; ++i) {
+    if (((mask >> i) & 1u) != 0) w.bits_[i] = bits_[i];
+  }
+  return w;
+}
+
+SymWord SymWord::operator>>(unsigned n) const {
+  SymWord w;
+  if (n >= 32) return w;  // all bits constant 0
+  for (unsigned i = 0; i + n < 32; ++i) w.bits_[i] = bits_[i + n];
+  return w;
+}
+
+int SymWord::first_divergent_bit(const SymWord& a, const SymWord& b) {
+  for (unsigned i = 0; i < 32; ++i) {
+    if (!(a.bits_[i] == b.bits_[i])) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string SymWord::to_string() const {
+  std::uint32_t c = 0;
+  for (unsigned i = 0; i < 32; ++i) {
+    if (bits_[i].constant) c |= 1u << i;
+  }
+  std::ostringstream out;
+  out << "0x" << std::hex << c;
+  bool any = false;
+  for (unsigned i = 0; i < 32; ++i) {
+    for (const std::uint32_t v : bits_[i].vars) {
+      out << (any ? "," : " ^ {");
+      any = true;
+      out << 'L' << (v / 32) << ".b" << (v % 32) << "->b" << i;
+    }
+  }
+  if (any) out << '}';
+  return out.str();
+}
+
+}  // namespace flymon::verify::translate

@@ -1,0 +1,66 @@
+// Symbolic 32-bit words over GF(2) affine bit expressions — the abstract
+// domain of the translation validator (translate.hpp).
+//
+// Every pipeline value the compiled and interpreted paths derive a register
+// address or parameter from is built from hash-lane words by XOR, AND with
+// a constant mask, and logical right shift.  Each of those operators is
+// bit-linear over GF(2), so a bit is represented *exactly* as
+//
+//     constant  XOR  (xor of symbolic input bits)
+//
+// where a symbolic input bit is `lane_id * 32 + bit` for an opaque hash
+// lane (interned by hash-unit identity + configured mask, see
+// translate.cpp).  Two SymWords compare equal iff the concrete expressions
+// agree on every input valuation — no approximation, no false equalities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flymon::verify::translate {
+
+/// One bit as a GF(2) affine form: `constant ^ XOR(vars)`.  `vars` is a
+/// sorted, duplicate-free set of symbolic input-bit ids (XOR is idempotent
+/// on equal terms, so a set is canonical).
+struct SymBit {
+  bool constant = false;
+  std::vector<std::uint32_t> vars;
+
+  bool is_constant() const noexcept { return vars.empty(); }
+  friend bool operator==(const SymBit&, const SymBit&) = default;
+};
+
+/// A 32-bit word of SymBits, bit 0 = LSB.
+class SymWord {
+ public:
+  /// All bits constant: the word `v`.
+  static SymWord constant(std::uint32_t v);
+  /// Bit i = the single symbolic variable `lane_id * 32 + i`.
+  static SymWord lane(std::uint32_t lane_id);
+
+  /// Bitwise XOR (GF(2) addition, per bit).
+  SymWord operator^(const SymWord& o) const;
+  /// AND with a constant mask: masked-out bits collapse to constant 0.
+  SymWord operator&(std::uint32_t mask) const;
+  /// Logical right shift by `n` (n >= 32 yields constant 0).
+  SymWord operator>>(unsigned n) const;
+
+  const SymBit& bit(unsigned i) const { return bits_[i]; }
+
+  /// Index of the lowest bit where the two words differ, or -1 when
+  /// equivalent.  Equality here is semantic equality of the concrete
+  /// functions (the representation is canonical).
+  static int first_divergent_bit(const SymWord& a, const SymWord& b);
+
+  friend bool operator==(const SymWord&, const SymWord&) = default;
+
+  /// Compact rendering for diagnostics: constant part in hex plus the
+  /// symbolic terms of the diverging bits, e.g. "0x00000000 ^ {L1.b3}".
+  std::string to_string() const;
+
+ private:
+  SymBit bits_[32];
+};
+
+}  // namespace flymon::verify::translate

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "verify/translate/translate.hpp"
+
 namespace flymon::verify {
 
 Verifier::Verifier() {
@@ -12,6 +14,8 @@ Verifier::Verifier() {
   add(make_dataflow_key_analyzer());
   add(make_dataflow_range_analyzer());
   add(make_dataflow_accuracy_analyzer());
+  add(make_translation_analyzer());
+  add(make_merge_soundness_analyzer());
 }
 
 void Verifier::add(std::unique_ptr<Analyzer> analyzer) {
@@ -66,6 +70,21 @@ namespace flymon::control {
 std::string Controller::run_verify_gate() const {
   const verify::VerifyReport report = verify::verify_deployment(*this);
   return report.format(verify::Severity::kError);
+}
+
+// Implemented here for the same reason: installing the publish-time
+// translation-validation gate pulls in verify::validate_plan.
+void Controller::set_paranoid(bool on) {
+  paranoid_ = on;
+  if (on) {
+    dp_->set_plan_validator(
+        [](const FlyMonDataPlane& dp, const exec::ExecPlan& plan) {
+          return verify::validate_plan(dp, plan).format(
+              verify::Severity::kError);
+        });
+  } else {
+    dp_->set_plan_validator({});
+  }
 }
 
 }  // namespace flymon::control

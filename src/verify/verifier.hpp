@@ -19,11 +19,14 @@ std::unique_ptr<Analyzer> make_task_analyzer();
 std::unique_ptr<Analyzer> make_dataflow_key_analyzer();
 std::unique_ptr<Analyzer> make_dataflow_range_analyzer();
 std::unique_ptr<Analyzer> make_dataflow_accuracy_analyzer();
+std::unique_ptr<Analyzer> make_translation_analyzer();
+std::unique_ptr<Analyzer> make_merge_soundness_analyzer();
 
 class Verifier {
  public:
-  /// Registers the seven built-in analyzers (resources, tcam, memory,
-  /// tasks, dataflow-key, dataflow-range, dataflow-accuracy).
+  /// Registers the nine built-in analyzers (resources, tcam, memory,
+  /// tasks, dataflow-key, dataflow-range, dataflow-accuracy, translate,
+  /// merge).  The last two only act when VerifyContext::exec_plan is set.
   Verifier();
 
   void add(std::unique_ptr<Analyzer> analyzer);

@@ -180,9 +180,9 @@ TEST(TcamLint, RangeReassemblyDetectsDuplicateBlock) {
 
 // ---- analyzer registry ----
 
-TEST(Verifier, RegistersSevenBuiltInAnalyzers) {
+TEST(Verifier, RegistersNineBuiltInAnalyzers) {
   const verify::Verifier v;
-  ASSERT_EQ(v.analyzers().size(), 7u);
+  ASSERT_EQ(v.analyzers().size(), 9u);
   EXPECT_NE(v.find("resources"), nullptr);
   EXPECT_NE(v.find("tcam"), nullptr);
   EXPECT_NE(v.find("memory"), nullptr);
@@ -190,6 +190,8 @@ TEST(Verifier, RegistersSevenBuiltInAnalyzers) {
   EXPECT_NE(v.find("dataflow-key"), nullptr);
   EXPECT_NE(v.find("dataflow-range"), nullptr);
   EXPECT_NE(v.find("dataflow-accuracy"), nullptr);
+  EXPECT_NE(v.find("translate"), nullptr);
+  EXPECT_NE(v.find("merge"), nullptr);
   EXPECT_EQ(v.find("nonesuch"), nullptr);
 }
 
@@ -207,7 +209,7 @@ TEST(Verifier, RunRecordsAnalyzersRun) {
   const verify::Verifier v;
   const verify::VerifyContext ctx{&ctl, &dp, nullptr, false};
   const auto report = v.run(ctx);
-  EXPECT_EQ(report.analyzers_run.size(), 7u);
+  EXPECT_EQ(report.analyzers_run.size(), 9u);
   EXPECT_TRUE(report.empty());  // empty deployment is trivially clean
 }
 
@@ -324,7 +326,8 @@ TEST(VerifyMutations, CatalogueHasFifteenDistinctMutations) {
 TEST(VerifyMutations, EverySeededCorruptionIsDetected) {
   const auto result = verify::run_mutation_self_test();
   EXPECT_TRUE(result.baseline_clean) << result.baseline_diagnostics;
-  ASSERT_EQ(result.cases.size(), 15u);
+  // 15 deployment corruptions plus 7 seeded miscompiles (miscompile-*).
+  ASSERT_EQ(result.cases.size(), 22u);
   for (const auto& c : result.cases) {
     EXPECT_TRUE(c.detected) << c.mutation << ": expected " << c.expected_check
                             << " in\n"

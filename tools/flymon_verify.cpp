@@ -13,6 +13,11 @@
 //                                 diagnostic fires — the expected outcome)
 //   flymon_verify --dataflow      verify through the dry-run planner
 //                                 (Controller::plan with an empty batch)
+//   flymon_verify --translate     translation-validate the scenario's
+//                                 compiled ExecPlan: symbolically check every
+//                                 compiled entry against the interpreted CMU
+//                                 semantics and prove the shard merge sound
+//                                 (exit 1 on any divergence diagnostic)
 //   flymon_verify --plan-diff F   stage the 'plan' sub-commands from file F
 //                                 (one per line, without the 'plan ' prefix,
 //                                 e.g. "add name=x ..." / "remove 3") against
@@ -41,6 +46,7 @@
 #include "telemetry/export.hpp"
 #include "verify/mutations.hpp"
 #include "verify/planner.hpp"
+#include "verify/translate/translate.hpp"
 #include "verify/verifier.hpp"
 
 namespace {
@@ -109,6 +115,7 @@ int main(int argc, char** argv) {
   bool selftest = false;
   bool paranoid = false;
   bool dataflow = false;
+  bool translate = false;
   std::string selftest_prefix;
   std::string mutate_name;
   std::string scenario_path;
@@ -127,6 +134,8 @@ int main(int argc, char** argv) {
       paranoid = true;
     } else if (arg == "--dataflow") {
       dataflow = true;
+    } else if (arg == "--translate") {
+      translate = true;
     } else if (arg == "--scenario" && i + 1 < argc) {
       scenario_path = argv[++i];
     } else if (arg == "--plan-diff" && i + 1 < argc) {
@@ -135,8 +144,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: flymon_verify [--scenario <file>] [--paranoid] "
-                   "[--dataflow] [--plan-diff <opsfile>] [--selftest[=prefix]] "
-                   "[--mutate <name>] [--json <path>]\n";
+                   "[--dataflow] [--translate] [--plan-diff <opsfile>] "
+                   "[--selftest[=prefix]] [--mutate <name>] [--json <path>]\n";
       return 0;
     } else {
       std::cerr << "error: unknown argument '" << arg << "' (--help)\n";
@@ -207,6 +216,28 @@ int main(int argc, char** argv) {
       return 1;
     }
     return diff.find("note: plan FAILED") == std::string::npos ? 0 : 1;
+  }
+
+  if (translate) {
+    // Translation-validate the compiled plan the scenario published: the
+    // deploys above recompiled after every add, so current_plan() is the
+    // plan that would serve traffic right now.
+    const auto plan = dp.current_plan();
+    if (plan == nullptr) {
+      std::cerr << "error: scenario published no compiled plan\n";
+      return 1;
+    }
+    const flymon::verify::VerifyReport report =
+        flymon::verify::validate_plan(dp, *plan);
+    std::cout << report.format();
+    std::cout << "plan generation " << plan->generation() << ": "
+              << plan->num_entries() << " compiled entries, "
+              << report.count(flymon::verify::Severity::kError)
+              << " divergence error(s), "
+              << report.count(flymon::verify::Severity::kWarning)
+              << " warning(s)\n";
+    if (!write_json(json_path, flymon::verify::to_json(report))) return 1;
+    return report.has_errors() ? 1 : 0;
   }
 
   flymon::verify::VerifyReport report;
